@@ -1,0 +1,212 @@
+(* radixvm-bench: command-line driver for individual experiments.
+
+   Examples:
+     radixvm-bench micro --bench local --vm radixvm --cores 16
+     radixvm-bench metis --vm linux --unit-kb 64 --cores 8
+     radixvm-bench counter --scheme snzi --cores 40
+     radixvm-bench index --structure skiplist --readers 20 --writers 5
+     radixvm-bench snapshot --profile firefox *)
+
+open Cmdliner
+
+module Radixvm = Vm.Radixvm.Default
+module MB_radix = Workloads.Microbench.Make (Vm.Radixvm.Default)
+module MB_linux = Workloads.Microbench.Make (Baselines.Linux_vm)
+module MB_bonsai = Workloads.Microbench.Make (Baselines.Bonsai_vm)
+module Metis_radix = Workloads.Metis.Make (Vm.Radixvm.Default)
+module Metis_linux = Workloads.Metis.Make (Baselines.Linux_vm)
+module Metis_bonsai = Workloads.Metis.Make (Baselines.Bonsai_vm)
+
+let vm_arg =
+  let doc = "VM system: radixvm, radixvm-shared (shared page tables), linux, bonsai." in
+  Arg.(value & opt string "radixvm" & info [ "vm" ] ~doc)
+
+let cores_arg =
+  Arg.(value & opt int 8 & info [ "cores" ] ~doc:"Number of simulated cores.")
+
+let duration_arg =
+  Arg.(
+    value
+    & opt int 2_000_000
+    & info [ "duration" ] ~doc:"Simulated run length in cycles.")
+
+(* ---- micro ---- *)
+
+let micro bench vm cores duration =
+  let pick local pipeline global =
+    match bench with
+    | "local" -> local ~ncores:cores ~duration
+    | "pipeline" -> pipeline ~ncores:(max 2 cores) ~duration
+    | "global" -> global ~ncores:cores ~duration
+    | other -> failwith ("unknown benchmark " ^ other)
+  in
+  let result =
+    match vm with
+    | "radixvm" ->
+        pick
+          (fun ~ncores ~duration -> MB_radix.local ~ncores ~duration Radixvm.create)
+          (fun ~ncores ~duration -> MB_radix.pipeline ~ncores ~duration Radixvm.create)
+          (fun ~ncores ~duration -> MB_radix.global ~ncores ~duration Radixvm.create)
+    | "radixvm-shared" ->
+        let make m = Radixvm.create_with ~mmu:Vm.Page_table.Shared m in
+        pick
+          (fun ~ncores ~duration -> MB_radix.local ~ncores ~duration make)
+          (fun ~ncores ~duration -> MB_radix.pipeline ~ncores ~duration make)
+          (fun ~ncores ~duration -> MB_radix.global ~ncores ~duration make)
+    | "linux" ->
+        pick
+          (fun ~ncores ~duration ->
+            MB_linux.local ~ncores ~duration Baselines.Linux_vm.create)
+          (fun ~ncores ~duration ->
+            MB_linux.pipeline ~ncores ~duration Baselines.Linux_vm.create)
+          (fun ~ncores ~duration ->
+            MB_linux.global ~ncores ~duration Baselines.Linux_vm.create)
+    | "bonsai" ->
+        pick
+          (fun ~ncores ~duration ->
+            MB_bonsai.local ~ncores ~duration Baselines.Bonsai_vm.create)
+          (fun ~ncores ~duration ->
+            MB_bonsai.pipeline ~ncores ~duration Baselines.Bonsai_vm.create)
+          (fun ~ncores ~duration ->
+            MB_bonsai.global ~ncores ~duration Baselines.Bonsai_vm.create)
+    | other -> failwith ("unknown vm " ^ other)
+  in
+  Format.printf "%a@." Workloads.Microbench.pp_result result
+
+let micro_cmd =
+  let bench =
+    Arg.(
+      value & opt string "local"
+      & info [ "bench" ] ~doc:"Microbenchmark: local, pipeline, or global.")
+  in
+  Cmd.v
+    (Cmd.info "micro" ~doc:"Run a section-5.3 microbenchmark.")
+    Term.(const micro $ bench $ vm_arg $ cores_arg $ duration_arg)
+
+(* ---- metis ---- *)
+
+let metis vm cores unit_kb words =
+  let unit_pages = max 1 (unit_kb * 1024 / Vm.Vm_types.page_size) in
+  let report =
+    match vm with
+    | "radixvm" ->
+        Metis_radix.run ~total_words:words ~unit_pages ~ncores:cores
+          Radixvm.create
+    | "linux" ->
+        Metis_linux.run ~total_words:words ~unit_pages ~ncores:cores
+          Baselines.Linux_vm.create
+    | "bonsai" ->
+        Metis_bonsai.run ~total_words:words ~unit_pages ~ncores:cores
+          Baselines.Bonsai_vm.create
+    | other -> failwith ("unknown vm " ^ other)
+  in
+  Format.printf "%a@." Workloads.Metis.pp_report report
+
+let metis_cmd =
+  let unit_kb =
+    Arg.(
+      value & opt int 64
+      & info [ "unit-kb" ] ~doc:"Allocator unit in KB (64 or 8192).")
+  in
+  let words =
+    Arg.(
+      value & opt int 200_000
+      & info [ "words" ] ~doc:"Total input words across all workers.")
+  in
+  Cmd.v
+    (Cmd.info "metis" ~doc:"Run the Metis MapReduce benchmark (Figure 4).")
+    Term.(const metis $ vm_arg $ cores_arg $ unit_kb $ words)
+
+(* ---- counter ---- *)
+
+let counter scheme cores duration =
+  let result =
+    match scheme with
+    | "refcache" ->
+        let module B = Workloads.Counter_bench.Make (Refcnt.Refcache_counter) in
+        B.run ~ncores:cores ~duration ()
+    | "shared" ->
+        let module B = Workloads.Counter_bench.Make (Refcnt.Shared_counter) in
+        B.run ~ncores:cores ~duration ()
+    | "snzi" ->
+        let module B = Workloads.Counter_bench.Make (Refcnt.Snzi) in
+        B.run ~ncores:cores ~duration ()
+    | "distributed" ->
+        let module B = Workloads.Counter_bench.Make (Refcnt.Distributed_counter) in
+        B.run ~ncores:cores ~duration ()
+    | other -> failwith ("unknown scheme " ^ other)
+  in
+  Format.printf "%a@." Workloads.Counter_bench.pp_result result
+
+let counter_cmd =
+  let scheme =
+    Arg.(
+      value & opt string "refcache"
+      & info [ "scheme" ]
+          ~doc:"Counting scheme: refcache, shared, snzi, distributed.")
+  in
+  Cmd.v
+    (Cmd.info "counter" ~doc:"Run the Figure 8 refcounting benchmark.")
+    Term.(const counter $ scheme $ cores_arg $ duration_arg)
+
+(* ---- index ---- *)
+
+let index structure readers writers duration =
+  let result =
+    match structure with
+    | "skiplist" -> Workloads.Index_bench.skiplist ~readers ~writers ~duration
+    | "radix" -> Workloads.Index_bench.radix ~readers ~writers ~duration
+    | other -> failwith ("unknown structure " ^ other)
+  in
+  Format.printf "%a@." Workloads.Index_bench.pp_result result
+
+let index_cmd =
+  let structure =
+    Arg.(
+      value & opt string "radix"
+      & info [ "structure" ] ~doc:"Index structure: radix or skiplist.")
+  in
+  let readers =
+    Arg.(value & opt int 8 & info [ "readers" ] ~doc:"Reader cores.")
+  in
+  let writers =
+    Arg.(value & opt int 0 & info [ "writers" ] ~doc:"Writer cores.")
+  in
+  Cmd.v
+    (Cmd.info "index" ~doc:"Run the Figure 6/7 index lookup benchmark.")
+    Term.(const index $ structure $ readers $ writers $ duration_arg)
+
+(* ---- snapshot ---- *)
+
+let snapshot profile =
+  let p =
+    match String.lowercase_ascii profile with
+    | "firefox" -> Workloads.Snapshots.firefox
+    | "chrome" -> Workloads.Snapshots.chrome
+    | "apache" -> Workloads.Snapshots.apache
+    | "mysql" -> Workloads.Snapshots.mysql
+    | other -> failwith ("unknown profile " ^ other)
+  in
+  Format.printf "%a@." Workloads.Snapshots.pp_row
+    (Workloads.Snapshots.measure p)
+
+let snapshot_cmd =
+  let profile =
+    Arg.(
+      value & opt string "firefox"
+      & info [ "profile" ]
+          ~doc:"Application profile: firefox, chrome, apache, mysql.")
+  in
+  Cmd.v
+    (Cmd.info "snapshot" ~doc:"Measure Table 2 memory overhead for a profile.")
+    Term.(const snapshot $ profile)
+
+let () =
+  let info =
+    Cmd.info "radixvm-bench" ~version:"1.0.0"
+      ~doc:"Run individual RadixVM reproduction experiments."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ micro_cmd; metis_cmd; counter_cmd; index_cmd; snapshot_cmd ]))

@@ -1,0 +1,1 @@
+examples/fork_cow.ml: Ccsim Machine Params Physmem Printf Vm

@@ -1,0 +1,1 @@
+examples/metis_wordcount.ml: Baselines List Printf Vm Workloads

@@ -1,0 +1,1 @@
+examples/metis_wordcount.mli:

@@ -1,0 +1,1 @@
+examples/os_processes.ml: Ccsim List Machine Os Params Physmem Printf String Vm

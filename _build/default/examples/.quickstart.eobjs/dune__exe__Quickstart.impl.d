@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ccsim Format Machine Params Physmem Printf Stats Vm

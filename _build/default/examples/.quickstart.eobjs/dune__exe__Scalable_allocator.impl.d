@@ -1,0 +1,1 @@
+examples/scalable_allocator.ml: Baselines Ccsim List Machine Params Printf Vm

@@ -1,0 +1,1 @@
+examples/scalable_allocator.mli:

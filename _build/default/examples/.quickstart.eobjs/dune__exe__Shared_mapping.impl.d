@@ -1,0 +1,1 @@
+examples/shared_mapping.ml: Ccsim Machine Params Physmem Printf Refcnt Stats Vm

@@ -1,0 +1,60 @@
+(* The motivating scenario from the paper's introduction: a multithreaded
+   memory allocator that actually returns memory to the OS.
+
+   Real allocators hoard memory ("Google's memory allocator is reluctant
+   to return memory to the OS precisely because of scaling problems with
+   munmap"). This example builds a naive allocator that mmaps on every
+   allocation and munmaps on every free — the worst case for the VM — and
+   runs it on all three VM systems. On RadixVM it scales linearly anyway,
+   which is the paper's whole point: no workarounds needed.
+
+   Run with: dune exec examples/scalable_allocator.exe *)
+
+open Ccsim
+
+module Run (V : Vm.Vm_intf.S) = struct
+  (* A per-thread pool allocator with zero hoarding: alloc = mmap + touch,
+     free = munmap. Each thread's pool lives in its own address range. *)
+  let throughput ~ncores ~duration =
+    let machine = Machine.create (Params.default ~ncores ()) in
+    let vm = V.create machine in
+    let ops = ref 0 in
+    for c = 0 to ncores - 1 do
+      let core = Machine.core machine c in
+      let pool_base = (c + 1) * 65536 in
+      let next = ref 0 in
+      Machine.set_workload machine c (fun () ->
+          (* allocate a 2-page object, use it, free it *)
+          let vpn = pool_base + (!next mod 8 * 2) in
+          incr next;
+          V.mmap vm core ~vpn ~npages:2 ();
+          ignore (V.touch vm core ~vpn);
+          ignore (V.touch vm core ~vpn:(vpn + 1));
+          V.munmap vm core ~vpn ~npages:2;
+          incr ops;
+          true)
+    done;
+    Machine.run_for machine ~cycles:duration;
+    float_of_int !ops /. Machine.seconds machine duration
+end
+
+module On_radixvm = Run (Vm.Radixvm.Default)
+module On_linux = Run (Baselines.Linux_vm)
+module On_bonsai = Run (Baselines.Bonsai_vm)
+
+let () =
+  let duration = 1_500_000 in
+  Printf.printf
+    "alloc/free pairs per second (each pair = mmap + 2 faults + munmap)\n\n";
+  Printf.printf "%8s %14s %14s %14s\n" "cores" "RadixVM" "Bonsai" "Linux";
+  List.iter
+    (fun ncores ->
+      let r = On_radixvm.throughput ~ncores ~duration in
+      let b = On_bonsai.throughput ~ncores ~duration in
+      let l = On_linux.throughput ~ncores ~duration in
+      Printf.printf "%8d %14.0f %14.0f %14.0f\n%!" ncores r b l)
+    [ 1; 2; 4; 8; 16; 32 ];
+  Printf.printf
+    "\nRadixVM keeps scaling because per-thread pools touch disjoint pages:\n\
+     disjoint radix slots, per-core page tables, no shootdowns, no shared\n\
+     cache lines. The baselines serialize on the address-space lock.\n"

@@ -1,0 +1,66 @@
+(* Physical page sharing and Refcache in action: the shared-library
+   scenario behind Figure 8. Many cores map the same physical page at
+   different virtual addresses (like every process mapping libc), so the
+   page's reference count is hammered from every core. With Refcache the
+   count updates stay in per-core delta caches; the page is freed — once,
+   and only after two quiescent epochs — when the last reference drops.
+
+   Run with: dune exec examples/shared_mapping.exe *)
+
+open Ccsim
+module Radixvm = Vm.Radixvm.Default
+module Counter = Refcnt.Refcache_counter
+
+let () =
+  let ncores = 8 in
+  let machine = Machine.create (Params.default ~ncores ()) in
+  let vm = Radixvm.create machine in
+  let core0 = Machine.core machine 0 in
+
+  (* One physical page standing in for a shared library's text page. *)
+  let pfn = Physmem.alloc (Machine.physmem machine) core0 in
+  let freed = ref false in
+  let page_refs =
+    Counter.make (Radixvm.counters vm) core0 ~init:1 ~on_free:(fun core ->
+        freed := true;
+        Physmem.free (Machine.physmem machine) core pfn)
+  in
+
+  (* Every core maps the shared page into its own slice of the address
+     space and touches it. *)
+  for c = 0 to ncores - 1 do
+    let core = Machine.core machine c in
+    let vpn = (c + 1) * 1024 in
+    Radixvm.mmap_shared_frame vm core ~vpn ~npages:1 ~pfn page_refs;
+    assert (Radixvm.touch vm core ~vpn = Vm.Vm_types.Ok)
+  done;
+  Printf.printf "mapped by %d cores; true refcount = %d\n" ncores
+    (Counter.value (Radixvm.counters vm) page_refs);
+
+  (* Everyone unmaps. The count falls back to the base reference; the
+     page survives. *)
+  for c = 0 to ncores - 1 do
+    let core = Machine.core machine c in
+    Radixvm.munmap vm core ~vpn:((c + 1) * 1024) ~npages:1
+  done;
+  Machine.drain machine
+    ~cycles:(4 * (Machine.params machine).Params.epoch_cycles);
+  Printf.printf "all unmapped; refcount = %d, freed = %b\n"
+    (Counter.value (Radixvm.counters vm) page_refs)
+    !freed;
+
+  (* Drop the base reference: Refcache notices the stable zero at review
+     time, two epochs later, and frees the page exactly once. *)
+  Counter.dec (Radixvm.counters vm) core0 page_refs;
+  Printf.printf "base reference dropped; freed immediately? %b\n" !freed;
+  Machine.drain machine
+    ~cycles:(4 * (Machine.params machine).Params.epoch_cycles);
+  Printf.printf "two epochs later: freed = %b, live frames = %d\n" !freed
+    (Physmem.live_frames (Machine.physmem machine));
+
+  Printf.printf
+    "\nNote what did NOT happen: no shared counter cache line ping-ponged\n\
+     between the %d cores — every inc/dec stayed in a per-core delta cache\n\
+     (total cache-line transfers: %d).\n"
+    ncores
+    (Stats.total_transfers (Machine.stats machine))

@@ -1,0 +1,1 @@
+lib/baselines/bonsai_vm.ml: Ccsim Lock Region_vm Structures

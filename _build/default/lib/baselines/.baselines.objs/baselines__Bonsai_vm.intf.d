@@ -1,0 +1,1 @@
+lib/baselines/bonsai_vm.mli: Vm

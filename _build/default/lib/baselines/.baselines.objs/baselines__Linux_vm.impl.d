@@ -1,0 +1,1 @@
+lib/baselines/linux_vm.ml: Ccsim Region_vm Rwlock Structures

@@ -1,0 +1,1 @@
+lib/baselines/linux_vm.mli: Vm

@@ -1,0 +1,1 @@
+lib/baselines/region_vm.ml: Bitset Ccsim Core Ipi List Machine Params Physmem Stats Vm

@@ -1,0 +1,23 @@
+open Ccsim
+
+module Cow_index = struct
+  include Structures.Cow_tree
+end
+
+(* Writers serialize on a mutex; readers are lock-free (RCU-style): the
+   COW tree lets them traverse a consistent snapshot with no lock. *)
+module Mutex_locking = struct
+  type lk = Lock.t
+
+  let create core = Lock.create core
+  let read_lock _core _lk = ()
+  let read_unlock _core _lk = ()
+  let write_lock core lk = Lock.acquire core lk
+  let write_unlock core lk = Lock.release core lk
+end
+
+include
+  Region_vm.Make (Cow_index) (Mutex_locking)
+    (struct
+      let name = "bonsai"
+    end)

@@ -1,0 +1,15 @@
+(** The Bonsai VM baseline (Clements et al., ASPLOS 2012): VMAs in a
+    balanced tree supporting lock-free lookups (modeled with a
+    copy-on-write tree and an atomically swung root), so page faults take
+    no lock at all; mmap and munmap still serialize on a mutex. Shared
+    page table, broadcast shootdowns.
+
+    This reproduces the paper's Figure 4/5 behaviour: Bonsai matches
+    RadixVM when the workload is fault-heavy (Metis with 8 MB allocation
+    units) and collapses when it is mmap-heavy (64 KB units, or the local
+    and pipeline microbenchmarks). *)
+
+include Vm.Vm_intf.S
+
+val mmu : t -> Vm.Mmu.t
+val vma_count : t -> int

@@ -1,0 +1,21 @@
+open Ccsim
+
+module Rb_index = struct
+  include Structures.Rbtree
+end
+
+module Rw_locking = struct
+  type lk = Rwlock.t
+
+  let create core = Rwlock.create core
+  let read_lock core lk = Rwlock.read_acquire core lk
+  let read_unlock core lk = Rwlock.read_release core lk
+  let write_lock core lk = Rwlock.write_acquire core lk
+  let write_unlock core lk = Rwlock.write_release core lk
+end
+
+include
+  Region_vm.Make (Rb_index) (Rw_locking)
+    (struct
+      let name = "linux"
+    end)

@@ -1,0 +1,14 @@
+(** The Linux-like baseline VM (sections 2 and 5): VMAs in a red-black
+    tree protected by a single address-space read-write lock, a shared
+    hardware page table, and broadcast TLB shootdowns.
+
+    Page faults take the read lock — concurrent faults do not exclude each
+    other but serialize on the lock word's cache line, which is why Metis
+    on Linux flattens even in the fault-heavy 8 MB configuration. mmap and
+    munmap take the write lock and serialize outright. *)
+
+include Vm.Vm_intf.S
+
+val mmu : t -> Vm.Mmu.t
+val vma_count : t -> int
+(** Live VMA objects (Table 2's "VMA tree" column). *)

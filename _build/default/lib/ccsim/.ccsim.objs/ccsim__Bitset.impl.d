@@ -1,0 +1,1 @@
+lib/ccsim/bitset.ml: Array Format List Sys

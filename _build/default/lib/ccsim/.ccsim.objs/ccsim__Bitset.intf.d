@@ -1,0 +1,1 @@
+lib/ccsim/bitset.mli: Format

@@ -1,0 +1,1 @@
+lib/ccsim/cell.ml: Core Line

@@ -1,0 +1,1 @@
+lib/ccsim/cell.mli: Core Line

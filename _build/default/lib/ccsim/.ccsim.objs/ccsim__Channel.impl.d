@@ -1,0 +1,1 @@
+lib/ccsim/channel.ml: Core Line Queue

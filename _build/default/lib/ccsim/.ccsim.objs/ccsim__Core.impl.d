@@ -1,0 +1,1 @@
+lib/ccsim/core.ml: Format Params Random Stats

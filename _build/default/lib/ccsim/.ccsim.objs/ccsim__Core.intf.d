@@ -1,0 +1,1 @@
+lib/ccsim/core.mli: Format Params Random Stats

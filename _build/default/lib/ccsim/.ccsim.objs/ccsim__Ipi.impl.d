@@ -1,0 +1,1 @@
+lib/ccsim/ipi.ml: Core List Machine Params Stats

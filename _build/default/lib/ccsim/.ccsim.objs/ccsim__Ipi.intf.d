@@ -1,0 +1,1 @@
+lib/ccsim/ipi.mli: Core Machine

@@ -1,0 +1,1 @@
+lib/ccsim/line.ml: Bitset Core Params Stats

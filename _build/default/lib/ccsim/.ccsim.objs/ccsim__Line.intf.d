@@ -1,0 +1,1 @@
+lib/ccsim/line.mli: Core Params Stats

@@ -1,0 +1,1 @@
+lib/ccsim/lock.ml: Core Line Stats

@@ -1,0 +1,1 @@
+lib/ccsim/lock.mli: Core Line

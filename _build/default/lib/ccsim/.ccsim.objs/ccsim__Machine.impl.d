@@ -1,0 +1,1 @@
+lib/ccsim/machine.ml: Array Core List Params Physmem Stats

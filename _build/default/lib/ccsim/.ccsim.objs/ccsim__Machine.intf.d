@@ -1,0 +1,1 @@
+lib/ccsim/machine.mli: Core Params Physmem Stats

@@ -1,0 +1,1 @@
+lib/ccsim/params.ml: Format

@@ -1,0 +1,1 @@
+lib/ccsim/physmem.ml: Array Core Hashtbl Line Params Stats

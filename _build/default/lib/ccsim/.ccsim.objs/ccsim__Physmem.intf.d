@@ -1,0 +1,1 @@
+lib/ccsim/physmem.mli: Core Params Stats

@@ -1,0 +1,1 @@
+lib/ccsim/rwlock.mli: Core

@@ -1,0 +1,1 @@
+lib/ccsim/stats.mli: Format

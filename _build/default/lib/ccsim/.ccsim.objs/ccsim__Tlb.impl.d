@@ -1,0 +1,1 @@
+lib/ccsim/tlb.ml: Hashtbl List Queue

@@ -1,0 +1,31 @@
+(** Fixed-capacity mutable bit sets.
+
+    Used for cache-line sharer sets and per-page TLB core sets. Capacity is
+    fixed at creation; membership operations on out-of-range indices raise
+    [Invalid_argument]. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set over universe [0 .. n-1]. *)
+
+val capacity : t -> int
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+val clear : t -> unit
+val is_empty : t -> bool
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val copy : t -> t
+val choose : t -> int option
+(** [choose t] is the smallest member, if any. *)
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] adds every member of [src] to [dst]. The two sets
+    must have the same capacity. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(** Typed simulated memory cells.
+
+    A cell is an OCaml mutable value bound to a simulated cache {!Line}:
+    reading or writing it through this interface charges the acting core
+    according to the coherence cost model. Several cells may share one line
+    to model false sharing (e.g. eight 8-byte slots per 64-byte line).
+
+    [peek]/[poke] bypass the cost model; they are for tests and for
+    initialization that is not part of a measured run. *)
+
+type 'a t
+
+val make : Core.t -> 'a -> 'a t
+(** [make core v] is a cell on a fresh private line homed on [core]'s
+    socket. *)
+
+val make_on : Line.t -> 'a -> 'a t
+(** A cell placed on an existing line (false sharing). *)
+
+val line : 'a t -> Line.t
+val read : Core.t -> 'a t -> 'a
+val write : Core.t -> 'a t -> 'a -> unit
+
+val cas : Core.t -> 'a t -> expect:'a -> update:'a -> bool
+(** Atomic compare-and-swap; always charges a write access (x86 semantics:
+    the line is taken exclusive whether or not the CAS succeeds).
+    Equality is structural. *)
+
+val fetch_add : Core.t -> int t -> int -> int
+(** Atomic add returning the previous value; charges a write access. *)
+
+val peek : 'a t -> 'a
+val poke : 'a t -> 'a -> unit

@@ -1,0 +1,27 @@
+type 'a t = { q : ('a * int) Queue.t; line : Line.t }
+
+let create (core : Core.t) =
+  let line =
+    Line.create core.Core.params core.Core.stats
+      ~home_socket:core.Core.socket
+  in
+  { q = Queue.create (); line }
+
+let send core t v =
+  Line.write core t.line;
+  Queue.push (v, Core.now core) t.q
+
+let recv core t =
+  Line.read core t.line;
+  match Queue.peek_opt t.q with
+  | None -> None
+  | Some (v, ready) ->
+      if ready > Core.now core then None
+      else begin
+        ignore (Queue.pop t.q);
+        (* Taking the message dirties the queue's line. *)
+        Line.write core t.line;
+        Some v
+      end
+
+let length t = Queue.length t.q

@@ -1,0 +1,33 @@
+type t = {
+  id : int;
+  socket : int;
+  params : Params.t;
+  stats : Stats.t;
+  mutable clock : int;
+  mutable pending_intr : int;
+  rng : Random.State.t;
+}
+
+let create params stats ~id =
+  {
+    id;
+    socket = Params.socket_of_core params id;
+    params;
+    stats;
+    clock = 0;
+    pending_intr = 0;
+    rng = Random.State.make [| 0x5eed; id |];
+  }
+
+let tick c n =
+  assert (n >= 0);
+  c.clock <- c.clock + n
+
+let now c =
+  if c.pending_intr > 0 then begin
+    c.clock <- c.clock + c.pending_intr;
+    c.pending_intr <- 0
+  end;
+  c.clock
+
+let pp ppf c = Format.fprintf ppf "core%d@%d" c.id c.clock

@@ -1,0 +1,28 @@
+(** A simulated CPU core.
+
+    A core is a clock plus identity: the scheduler in {!Machine} always runs
+    the ready core with the smallest clock, and every simulated memory
+    access, lock operation, or IPI advances the acting core's clock by its
+    modeled cost. *)
+
+type t = {
+  id : int;
+  socket : int;
+  params : Params.t;
+  stats : Stats.t;
+  mutable clock : int;  (** local time in cycles *)
+  mutable pending_intr : int;
+      (** interrupt-handler cycles charged by IPIs received while this core
+          was logically behind; folded into [clock] at its next step *)
+  rng : Random.State.t;  (** deterministic per-core randomness *)
+}
+
+val create : Params.t -> Stats.t -> id:int -> t
+
+val tick : t -> int -> unit
+(** [tick c n] advances [c]'s clock by [n] cycles ([n >= 0]). *)
+
+val now : t -> int
+(** Current local clock, after folding in any pending interrupt cost. *)
+
+val pp : Format.formatter -> t -> unit

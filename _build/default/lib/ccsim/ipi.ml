@@ -1,0 +1,35 @@
+let multicast machine (sender : Core.t) ~targets =
+  let p = Machine.params machine and stats = Machine.stats machine in
+  stats.Stats.shootdown_events <- stats.Stats.shootdown_events + 1;
+  let ack_max = ref 0 in
+  List.iter
+    (fun id ->
+      if id <> sender.Core.id then begin
+        let target = Machine.core machine id in
+        (* The interconnect briefly serializes every IPI machine-wide;
+           the dominant cost is the sender's own APIC protocol, paid
+           serially per target. *)
+        let start = max (Core.now sender) (Machine.ipi_free_at machine) in
+        Machine.set_ipi_free_at machine (start + p.Params.ipi_channel);
+        let sent = start + p.Params.ipi_send in
+        sender.Core.clock <- sent;
+        let deliver = sent + p.Params.ipi_deliver in
+        let start =
+          max (target.Core.clock + target.Core.pending_intr) deliver
+        in
+        let ack = start + p.Params.ipi_handler in
+        target.Core.pending_intr <-
+          target.Core.pending_intr + p.Params.ipi_handler;
+        stats.Stats.ipis <- stats.Stats.ipis + 1;
+        stats.Stats.shootdown_targets <- stats.Stats.shootdown_targets + 1;
+        ack_max := max !ack_max ack
+      end)
+    targets;
+  if !ack_max > 0 then begin
+    let now = Core.now sender in
+    if !ack_max > now then begin
+      stats.Stats.shootdown_wait_cycles <-
+        stats.Stats.shootdown_wait_cycles + (!ack_max - now);
+      sender.Core.clock <- !ack_max
+    end
+  end

@@ -1,0 +1,89 @@
+type t = {
+  params : Params.t;
+  stats : Stats.t;
+  home_socket : int;
+  mutable owner : int;  (* core id holding Modified/Exclusive; -1 if none *)
+  sharers : Bitset.t;
+  mutable free_at : int;
+}
+
+let create params stats ~home_socket =
+  {
+    params;
+    stats;
+    home_socket;
+    owner = -1;
+    sharers = Bitset.create params.Params.ncores;
+    free_at = 0;
+  }
+
+let holder t = if t.owner >= 0 then Some t.owner else None
+let sharers t = Bitset.elements t.sharers
+let free_at t = t.free_at
+
+let holds_for_read t core_id =
+  t.owner = core_id || Bitset.mem t.sharers core_id
+
+(* Latency of fetching the line into [core]'s cache, given current holders
+   (excluding [core] itself). *)
+let miss_latency t (core : Core.t) =
+  let p = t.params in
+  let socket_of = Params.socket_of_core p in
+  if t.owner >= 0 && t.owner <> core.Core.id then
+    if socket_of t.owner = core.Core.socket then
+      (p.Params.local_transfer, `Local)
+    else (p.Params.remote_transfer, `Remote)
+  else
+    let same_socket = ref false and other = ref false in
+    Bitset.iter
+      (fun c ->
+        if c <> core.Core.id then begin
+          other := true;
+          if socket_of c = core.Core.socket then same_socket := true
+        end)
+      t.sharers;
+    if !other then
+      if !same_socket then (p.Params.local_transfer, `Local)
+      else (p.Params.remote_transfer, `Remote)
+    else if t.home_socket = core.Core.socket then (p.Params.dram_local, `Dram)
+    else (p.Params.dram_remote, `Dram)
+
+let charge_miss t (core : Core.t) =
+  let latency, kind = miss_latency t core in
+  (match kind with
+  | `Local -> t.stats.Stats.transfers_local <- t.stats.Stats.transfers_local + 1
+  | `Remote ->
+      t.stats.Stats.transfers_remote <- t.stats.Stats.transfers_remote + 1
+  | `Dram -> t.stats.Stats.dram_fills <- t.stats.Stats.dram_fills + 1);
+  let now = Core.now core in
+  let start = max now t.free_at in
+  t.stats.Stats.line_stall_cycles <-
+    t.stats.Stats.line_stall_cycles + (start - now);
+  let finish = start + latency in
+  t.free_at <- finish;
+  core.Core.clock <- finish
+
+let read core t =
+  if holds_for_read t core.Core.id then begin
+    t.stats.Stats.l1_hits <- t.stats.Stats.l1_hits + 1;
+    Core.tick core t.params.Params.l1_hit
+  end
+  else begin
+    charge_miss t core;
+    if t.owner >= 0 then begin
+      Bitset.add t.sharers t.owner;
+      t.owner <- -1
+    end;
+    Bitset.add t.sharers core.Core.id
+  end
+
+let write core t =
+  if t.owner = core.Core.id then begin
+    t.stats.Stats.l1_hits <- t.stats.Stats.l1_hits + 1;
+    Core.tick core t.params.Params.l1_hit
+  end
+  else begin
+    charge_miss t core;
+    Bitset.clear t.sharers;
+    t.owner <- core.Core.id
+  end

@@ -1,0 +1,44 @@
+type t = { line : Line.t; mutable free_time : int; mutable holder : int }
+
+let create (core : Core.t) =
+  let line =
+    Line.create core.Core.params core.Core.stats
+      ~home_socket:core.Core.socket
+  in
+  { line; free_time = 0; holder = -1 }
+
+let create_on line = { line; free_time = 0; holder = -1 }
+
+let acquire (core : Core.t) t =
+  let stats = core.Core.stats in
+  stats.Stats.lock_acquires <- stats.Stats.lock_acquires + 1;
+  Line.write core t.line;
+  let now = Core.now core in
+  if t.free_time > now then begin
+    stats.Stats.lock_contended <- stats.Stats.lock_contended + 1;
+    stats.Stats.lock_wait_cycles <-
+      stats.Stats.lock_wait_cycles + (t.free_time - now);
+    core.Core.clock <- t.free_time
+  end;
+  t.holder <- core.Core.id
+
+let release (core : Core.t) t =
+  Line.write core t.line;
+  t.holder <- -1;
+  t.free_time <- Core.now core
+
+let try_acquire (core : Core.t) t =
+  let stats = core.Core.stats in
+  stats.Stats.lock_acquires <- stats.Stats.lock_acquires + 1;
+  Line.write core t.line;
+  let now = Core.now core in
+  if t.free_time > now then begin
+    stats.Stats.lock_contended <- stats.Stats.lock_contended + 1;
+    false
+  end
+  else begin
+    t.holder <- core.Core.id;
+    true
+  end
+
+let free_time t = t.free_time

@@ -1,0 +1,191 @@
+type maint = { period : int; fn : Core.t -> unit; next : int array }
+
+type t = {
+  params : Params.t;
+  stats : Stats.t;
+  cores : Core.t array;
+  physmem : Physmem.t;
+  workloads : (unit -> bool) option array;
+  mutable maints : maint list;
+  mutable ipi_free : int;
+}
+
+let create params =
+  let stats = Stats.create () in
+  {
+    params;
+    stats;
+    cores =
+      Array.init params.Params.ncores (fun id -> Core.create params stats ~id);
+    physmem = Physmem.create params stats;
+    workloads = Array.make params.Params.ncores None;
+    maints = [];
+    ipi_free = 0;
+  }
+
+let params t = t.params
+let stats t = t.stats
+let physmem t = t.physmem
+let ncores t = Array.length t.cores
+let core t i = t.cores.(i)
+let cores t = t.cores
+let set_workload t i step = t.workloads.(i) <- Some step
+
+let add_maintenance t ~period fn =
+  if period <= 0 then invalid_arg "Machine.add_maintenance";
+  (* Stagger the first firing per core: real kernels run per-core
+     maintenance off independent timers, and synchronizing every core's
+     flush to the same instant would manufacture convoys on shared
+     objects that do not exist on real hardware. *)
+  let n = ncores t in
+  let next =
+    Array.init n (fun i -> period + (i * period / (4 * max 1 n)))
+  in
+  t.maints <- { period; fn; next } :: t.maints
+
+let eff_clock (c : Core.t) = c.Core.clock + c.Core.pending_intr
+
+(* Fire every maintenance hook due on [core] given its current clock. *)
+let run_due_maint t (core : Core.t) =
+  List.iter
+    (fun m ->
+      while m.next.(core.Core.id) <= eff_clock core do
+        m.fn core;
+        m.next.(core.Core.id) <- m.next.(core.Core.id) + m.period
+      done)
+    t.maints
+
+(* Earliest pending maintenance time for core [i], if any hooks exist. *)
+let min_maint_time t i =
+  List.fold_left
+    (fun acc m ->
+      match acc with
+      | None -> Some m.next.(i)
+      | Some v -> Some (min v m.next.(i)))
+    None t.maints
+
+let max_active_clock t =
+  let acc = ref None in
+  Array.iteri
+    (fun i w ->
+      match w with
+      | Some _ ->
+          let c = eff_clock t.cores.(i) in
+          acc := Some (match !acc with None -> c | Some v -> max v c)
+      | None -> ())
+    t.workloads;
+  !acc
+
+(* One scheduling decision: the next thing to run is either the step of the
+   earliest active core, or an overdue maintenance event on an idle core
+   (idle cores may not run ahead of every active core). *)
+type pick = Step of int | Idle_maint of int * int | Nothing
+
+let pick_next t =
+  match max_active_clock t with
+  | None -> Nothing
+  | Some horizon ->
+      let best = ref Nothing and best_time = ref max_int in
+      Array.iteri
+        (fun i w ->
+          match w with
+          | Some _ ->
+              let c = eff_clock t.cores.(i) in
+              if c < !best_time then begin
+                best := Step i;
+                best_time := c
+              end
+          | None -> (
+              match min_maint_time t i with
+              | Some m when m <= horizon && m < !best_time ->
+                  best := Idle_maint (i, m);
+                  best_time := m
+              | _ -> ()))
+        t.workloads;
+      !best
+
+let run_pick t = function
+  | Nothing -> false
+  | Step i ->
+      let core = t.cores.(i) in
+      run_due_maint t core;
+      (match t.workloads.(i) with
+      | Some step -> if not (step ()) then t.workloads.(i) <- None
+      | None -> ());
+      true
+  | Idle_maint (i, time) ->
+      let core = t.cores.(i) in
+      core.Core.clock <- max core.Core.clock time;
+      run_due_maint t core;
+      true
+
+let run t =
+  let continue = ref true in
+  while !continue do
+    continue := run_pick t (pick_next t)
+  done
+
+let run_for t ~cycles =
+  (* Stop once the earliest active core passes the horizon (workloads stay
+     installed, so a later [run_for] with a larger horizon resumes). *)
+  let continue = ref true in
+  while !continue do
+    match pick_next t with
+    | Step i when eff_clock t.cores.(i) >= cycles -> continue := false
+    | Nothing -> continue := false
+    | pick -> continue := run_pick t pick
+  done
+
+let elapsed t =
+  Array.fold_left (fun acc c -> max acc (eff_clock c)) 0 t.cores
+
+let drain t ~cycles =
+  let target = elapsed t + cycles in
+  let continue = ref true in
+  while !continue do
+    (* Earliest maintenance event at or before [target], across all cores. *)
+    let best = ref None in
+    List.iter
+      (fun m ->
+        Array.iteri
+          (fun i next ->
+            if next <= target then
+              match !best with
+              | Some (_, _, bt) when bt <= next -> ()
+              | _ -> best := Some (m, i, next))
+          m.next)
+      t.maints;
+    match !best with
+    | None -> continue := false
+    | Some (m, i, time) ->
+        let core = t.cores.(i) in
+        core.Core.clock <- max core.Core.clock time;
+        m.fn core;
+        m.next.(i) <- m.next.(i) + m.period
+  done;
+  Array.iter
+    (fun (c : Core.t) -> c.Core.clock <- max c.Core.clock target)
+    t.cores
+
+let seconds t cycles = float_of_int cycles /. t.params.Params.clock_hz
+
+let wait_hint t (core : Core.t) =
+  let earliest_other = ref None in
+  Array.iteri
+    (fun i w ->
+      if i <> core.Core.id && w <> None then
+        let c = eff_clock t.cores.(i) in
+        earliest_other :=
+          Some (match !earliest_other with None -> c | Some v -> min v c))
+    t.workloads;
+  (* Poll roughly every microsecond of simulated time: fine enough that
+     cross-core events are observed promptly relative to phase lengths,
+     coarse enough that waiting cores do not flood the scheduler with
+     cycle-sized steps. *)
+  let poll = core.Core.clock + (16 * t.params.Params.op_cost) in
+  match !earliest_other with
+  | None -> core.Core.clock <- poll
+  | Some other -> core.Core.clock <- max poll (other + 1)
+
+let ipi_free_at t = t.ipi_free
+let set_ipi_free_at t v = t.ipi_free <- v

@@ -1,0 +1,53 @@
+(** The simulated machine: cores, scheduler, and shared resources.
+
+    Workloads are per-core step functions. The scheduler repeatedly runs the
+    ready core with the smallest local clock, so cross-core causality is
+    respected at step granularity; each step executes atomically and
+    advances its core's clock through the cost model. A step returning
+    [false] retires its core's workload.
+
+    Maintenance hooks (used for Refcache epoch flushes) fire on every core
+    with a fixed period of simulated time, including on cores whose
+    workloads have already retired — the paper's epoch barrier needs every
+    core to keep flushing. *)
+
+type t
+
+val create : Params.t -> t
+val params : t -> Params.t
+val stats : t -> Stats.t
+val physmem : t -> Physmem.t
+val ncores : t -> int
+val core : t -> int -> Core.t
+val cores : t -> Core.t array
+
+val set_workload : t -> int -> (unit -> bool) -> unit
+(** [set_workload t i step] installs [step] on core [i]. *)
+
+val add_maintenance : t -> period:int -> (Core.t -> unit) -> unit
+(** Register a hook to run on every core once per [period] cycles. *)
+
+val run : t -> unit
+(** Run until every workload has retired. *)
+
+val run_for : t -> cycles:int -> unit
+(** Run until every workload has retired or passed the absolute time
+    [cycles]; cores past the horizon are retired without further steps. *)
+
+val drain : t -> cycles:int -> unit
+(** Advance simulated time by [cycles] on all cores, firing only
+    maintenance hooks (used to let Refcache epochs settle after a run). *)
+
+val elapsed : t -> int
+(** Largest core clock (total simulated time so far). *)
+
+val seconds : t -> int -> float
+(** Convert cycles to seconds at the machine's clock rate. *)
+
+val wait_hint : t -> Core.t -> unit
+(** Advance [core]'s clock just past the earliest other active core — used
+    by workloads polling for cross-core events (channel receive, barrier). *)
+
+(* Shared IPI interconnect state; used by {!Ipi}. *)
+val ipi_free_at : t -> int
+val set_ipi_free_at : t -> int -> unit

@@ -1,0 +1,50 @@
+type t = {
+  ncores : int;
+  cores_per_socket : int;
+  l1_hit : int;
+  local_transfer : int;
+  remote_transfer : int;
+  dram_local : int;
+  dram_remote : int;
+  ipi_send : int;
+  ipi_channel : int;
+  ipi_deliver : int;
+  ipi_handler : int;
+  tlb_hit : int;
+  tlb_entries : int;
+  hw_walk_base : int;
+  page_zero : int;
+  disk_read : int;
+  op_cost : int;
+  clock_hz : float;
+  epoch_cycles : int;
+}
+
+let default ?(ncores = 80) ?(epoch_cycles = 1_000_000) () =
+  {
+    ncores;
+    cores_per_socket = 10;
+    l1_hit = 4;
+    local_transfer = 120;
+    remote_transfer = 300;
+    dram_local = 200;
+    dram_remote = 350;
+    ipi_send = 6_000;
+    ipi_channel = 100;
+    ipi_deliver = 1_500;
+    ipi_handler = 2_500;
+    tlb_hit = 1;
+    tlb_entries = 512;
+    hw_walk_base = 40;
+    page_zero = 12_000;
+    disk_read = 80_000;
+    op_cost = 60;
+    clock_hz = 2.4e9;
+    epoch_cycles;
+  }
+
+let socket_of_core t c = c / t.cores_per_socket
+
+let pp ppf t =
+  Format.fprintf ppf "machine<%d cores, %d/socket, %.1f GHz>" t.ncores
+    t.cores_per_socket (t.clock_hz /. 1e9)

@@ -1,0 +1,47 @@
+(** Machine and cost-model parameters for the cache-coherent multicore
+    simulator.
+
+    All latencies are in simulated CPU cycles. Defaults approximate the
+    paper's testbed: an 80-core machine built from eight 10-core 2.4 GHz
+    Intel E7-8870 sockets. The exact values are calibration knobs; the
+    experiments in the paper depend on their relative magnitudes (an L1 hit
+    is tens of times cheaper than a cross-socket cache-line transfer, an IPI
+    is hundreds of times more expensive still), not on their absolute
+    values. *)
+
+type t = {
+  ncores : int;  (** number of simulated cores *)
+  cores_per_socket : int;  (** cores per socket, for distance costs *)
+  l1_hit : int;  (** access to a line already held by this core *)
+  local_transfer : int;  (** cache-to-cache transfer within a socket *)
+  remote_transfer : int;  (** cache-to-cache transfer across sockets *)
+  dram_local : int;  (** miss served from the home socket's DRAM *)
+  dram_remote : int;  (** miss served from a remote socket's DRAM *)
+  ipi_send : int;
+      (** sender-side cost per IPI target (the slow APIC ICR protocol:
+          writing the command register and waiting for it to clear) *)
+  ipi_channel : int;
+      (** global interconnect occupancy per IPI — small, but makes
+          machine-wide shootdown storms queue *)
+  ipi_deliver : int;  (** latency from send to remote delivery *)
+  ipi_handler : int;  (** remote interrupt-handler execution cost *)
+  tlb_hit : int;  (** access through a cached translation *)
+  tlb_entries : int;  (** per-core TLB capacity *)
+  hw_walk_base : int;  (** fixed cost of a hardware page-table walk *)
+  page_zero : int;  (** cost of zero-filling a fresh 4 KB frame *)
+  disk_read : int;  (** cost of reading a 4 KB page from backing store *)
+  op_cost : int;  (** nominal cost of non-memory bookkeeping per op *)
+  clock_hz : float;  (** simulated clock rate, for cycles -> seconds *)
+  epoch_cycles : int;  (** Refcache maintenance period per core *)
+}
+
+val default : ?ncores:int -> ?epoch_cycles:int -> unit -> t
+(** [default ()] is the 80-core, 10-cores-per-socket configuration.
+    [ncores] overrides the core count; [epoch_cycles] overrides the
+    Refcache epoch length (the paper uses 10 ms; tests use much shorter
+    epochs to exercise many epoch transitions quickly). *)
+
+val socket_of_core : t -> int -> int
+(** [socket_of_core t c] is the socket housing core [c]. *)
+
+val pp : Format.formatter -> t -> unit

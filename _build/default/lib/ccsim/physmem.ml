@@ -1,0 +1,66 @@
+type t = {
+  params : Params.t;
+  stats : Stats.t;
+  mutable next : int;
+  free_lists : int list array;  (* per home core *)
+  list_lines : Line.t array;  (* cache line of each free-list head *)
+  home : (int, int) Hashtbl.t;  (* frame -> home core *)
+  content : (int, int) Hashtbl.t;  (* frame -> one-word content summary *)
+  mutable live : int;
+}
+
+let create params stats =
+  let n = params.Params.ncores in
+  {
+    params;
+    stats;
+    next = 0;
+    free_lists = Array.make n [];
+    list_lines =
+      Array.init n (fun i ->
+          Line.create params stats
+            ~home_socket:(Params.socket_of_core params i));
+    home = Hashtbl.create 4096;
+    content = Hashtbl.create 4096;
+    live = 0;
+  }
+
+let alloc t (core : Core.t) =
+  let id = core.Core.id in
+  Line.write core t.list_lines.(id);
+  let frame =
+    match t.free_lists.(id) with
+    | f :: rest ->
+        t.free_lists.(id) <- rest;
+        f
+    | [] ->
+        let f = t.next in
+        t.next <- t.next + 1;
+        Hashtbl.replace t.home f id;
+        f
+  in
+  t.stats.Stats.frames_allocated <- t.stats.Stats.frames_allocated + 1;
+  t.live <- t.live + 1;
+  (* zero-fill *)
+  Hashtbl.replace t.content frame 0;
+  Core.tick core t.params.Params.page_zero;
+  frame
+
+let free t (core : Core.t) frame =
+  let home =
+    match Hashtbl.find_opt t.home frame with
+    | Some h -> h
+    | None -> invalid_arg "Physmem.free: unknown frame"
+  in
+  Line.write core t.list_lines.(home);
+  t.free_lists.(home) <- frame :: t.free_lists.(home);
+  t.stats.Stats.frames_freed <- t.stats.Stats.frames_freed + 1;
+  t.live <- t.live - 1
+
+let set_content t frame v = Hashtbl.replace t.content frame v
+
+let get_content t frame =
+  match Hashtbl.find_opt t.content frame with Some v -> v | None -> 0
+
+let live_frames t = t.live
+let total_frames t = t.next

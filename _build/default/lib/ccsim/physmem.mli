@@ -1,0 +1,34 @@
+(** Simulated physical memory: a frame allocator with per-core free lists.
+
+    Frames are small integers. Each frame has a home core (its first
+    allocator); freeing returns it to the home core's free list, touching
+    that list's cache line — so cross-core frees generate the coherence
+    traffic the paper observes when the pipeline benchmark "returns freed
+    pages to their home nodes". Allocation of a fresh or recycled frame
+    charges the page-zeroing cost (the dominant per-iteration cache-miss
+    source in section 5.3). *)
+
+type t
+
+val create : Params.t -> Stats.t -> t
+
+val alloc : t -> Core.t -> int
+(** Allocate (and zero) a frame for [core]. *)
+
+val free : t -> Core.t -> int -> unit
+(** Return a frame to its home core's free list. *)
+
+val live_frames : t -> int
+(** Frames currently allocated (for leak tests and memory accounting). *)
+
+val total_frames : t -> int
+(** Frames ever created. *)
+
+val set_content : t -> int -> int -> unit
+(** [set_content t frame v] records a one-word summary of the frame's
+    contents — enough to test copy-on-write and page-cache sharing
+    end-to-end on real values. Access costs are charged by the VM layer's
+    load/store paths, not here. *)
+
+val get_content : t -> int -> int
+(** The frame's content word (0 for a freshly allocated frame). *)

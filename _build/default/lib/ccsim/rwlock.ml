@@ -1,0 +1,37 @@
+type t = {
+  line : Line.t;
+  mutable writer_free : int;  (* time the last writer released *)
+  mutable readers_free : int;  (* latest reader release time *)
+}
+
+let create (core : Core.t) =
+  let line =
+    Line.create core.Core.params core.Core.stats
+      ~home_socket:core.Core.socket
+  in
+  { line; writer_free = 0; readers_free = 0 }
+
+let charge_acquire (core : Core.t) t wait_until =
+  let stats = core.Core.stats in
+  stats.Stats.lock_acquires <- stats.Stats.lock_acquires + 1;
+  Line.write core t.line;
+  let now = Core.now core in
+  if wait_until > now then begin
+    stats.Stats.lock_contended <- stats.Stats.lock_contended + 1;
+    stats.Stats.lock_wait_cycles <-
+      stats.Stats.lock_wait_cycles + (wait_until - now);
+    core.Core.clock <- wait_until
+  end
+
+let read_acquire core t = charge_acquire core t t.writer_free
+
+let read_release (core : Core.t) t =
+  Line.write core t.line;
+  t.readers_free <- max t.readers_free (Core.now core)
+
+let write_acquire core t =
+  charge_acquire core t (max t.writer_free t.readers_free)
+
+let write_release (core : Core.t) t =
+  Line.write core t.line;
+  t.writer_free <- Core.now core

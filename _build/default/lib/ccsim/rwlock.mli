@@ -1,0 +1,16 @@
+(** Timed reader-writer lock.
+
+    Models the single read-write lock per address space used by Linux and
+    similar kernels (section 2 of the paper). Readers do not exclude each
+    other in time, but every reader acquire and release performs an atomic
+    update of the lock word's cache line — so with many concurrent readers
+    the lock line itself serializes them, which is exactly why concurrent
+    page faults fail to scale on Linux even though they only "read". *)
+
+type t
+
+val create : Core.t -> t
+val read_acquire : Core.t -> t -> unit
+val read_release : Core.t -> t -> unit
+val write_acquire : Core.t -> t -> unit
+val write_release : Core.t -> t -> unit

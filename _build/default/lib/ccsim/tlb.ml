@@ -1,0 +1,52 @@
+type entry = { pfn : int; writable : bool }
+
+type t = {
+  capacity : int;
+  tbl : (int, entry) Hashtbl.t;
+  fifo : int Queue.t;  (* insertion order; may contain stale vpns *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Tlb.create";
+  { capacity; tbl = Hashtbl.create (2 * capacity); fifo = Queue.create () }
+
+let lookup t vpn = Hashtbl.find_opt t.tbl vpn
+let mem t vpn = Hashtbl.mem t.tbl vpn
+let size t = Hashtbl.length t.tbl
+
+(* Pop stale queue entries until a live one is evicted. *)
+let rec evict_one t =
+  match Queue.take_opt t.fifo with
+  | None -> ()
+  | Some vpn ->
+      if Hashtbl.mem t.tbl vpn then Hashtbl.remove t.tbl vpn
+      else evict_one t
+
+let insert t ~vpn ~pfn ~writable =
+  let entry = { pfn; writable } in
+  if Hashtbl.mem t.tbl vpn then Hashtbl.replace t.tbl vpn entry
+  else begin
+    if Hashtbl.length t.tbl >= t.capacity then evict_one t;
+    Hashtbl.replace t.tbl vpn entry;
+    Queue.push vpn t.fifo
+  end
+
+let invalidate t vpn = Hashtbl.remove t.tbl vpn
+
+let invalidate_range t ~lo ~hi =
+  if hi - lo < Hashtbl.length t.tbl then
+    for vpn = lo to hi - 1 do
+      Hashtbl.remove t.tbl vpn
+    done
+  else begin
+    let doomed =
+      Hashtbl.fold
+        (fun vpn _ acc -> if vpn >= lo && vpn < hi then vpn :: acc else acc)
+        t.tbl []
+    in
+    List.iter (Hashtbl.remove t.tbl) doomed
+  end
+
+let flush t =
+  Hashtbl.reset t.tbl;
+  Queue.clear t.fifo

@@ -1,0 +1,32 @@
+(** Per-core translation lookaside buffer.
+
+    A bounded map from virtual page number to physical frame number with
+    FIFO replacement. The TLB itself is core-private hardware, so its
+    operations cost nothing in the coherence model; callers charge the
+    appropriate [tlb_hit] / walk / fault costs. What matters for the paper
+    is *when* entries must be removed: x86 hardware gives no notice of what
+    a TLB caches, so the kernel must shoot down remote TLBs explicitly. *)
+
+type entry = { pfn : int; writable : bool }
+
+type t
+
+val create : capacity:int -> t
+
+val lookup : t -> int -> entry option
+(** [lookup t vpn] is the cached translation for [vpn], if present. *)
+
+val insert : t -> vpn:int -> pfn:int -> writable:bool -> unit
+(** Insert a translation, evicting the oldest entry if full. *)
+
+val invalidate : t -> int -> unit
+(** Drop the entry for one vpn (no-op if absent). *)
+
+val invalidate_range : t -> lo:int -> hi:int -> unit
+(** Drop entries for vpns in [lo, hi). *)
+
+val flush : t -> unit
+(** Drop everything (full TLB flush). *)
+
+val size : t -> int
+val mem : t -> int -> bool

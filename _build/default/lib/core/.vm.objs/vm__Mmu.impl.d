@@ -1,0 +1,1 @@
+lib/core/mmu.ml: Array Ccsim Core Machine Page_table Params Stats Tlb

@@ -1,0 +1,1 @@
+lib/core/mmu.mli: Ccsim Page_table

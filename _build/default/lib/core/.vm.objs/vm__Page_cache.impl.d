@@ -1,0 +1,1 @@
+lib/core/page_cache.ml: Array Ccsim Core Hashtbl Lock Machine Params Physmem Refcnt

@@ -1,0 +1,1 @@
+lib/core/page_table.ml: Array Ccsim Core Hashtbl Line List Machine Params Vm_types

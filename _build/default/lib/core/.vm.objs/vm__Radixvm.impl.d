@@ -1,0 +1,1 @@
+lib/core/radixvm.ml: Bitset Ccsim Core Format Ipi List Machine Mmu Page_cache Page_table Params Physmem Radix Refcnt Stats Vm_types

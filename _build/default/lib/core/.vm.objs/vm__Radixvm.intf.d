@@ -1,0 +1,1 @@
+lib/core/radixvm.mli: Ccsim Mmu Page_cache Page_table Refcnt Vm_intf Vm_types

@@ -1,0 +1,1 @@
+lib/core/vm_intf.ml: Ccsim Vm_types

@@ -1,0 +1,1 @@
+lib/core/vm_types.ml: Format

@@ -1,0 +1,63 @@
+open Ccsim
+
+type t = {
+  machine : Machine.t;
+  pt : Page_table.t;
+  tlbs : Tlb.t array;
+}
+
+let create machine kind =
+  let params = Machine.params machine in
+  {
+    machine;
+    pt = Page_table.create machine kind;
+    tlbs =
+      Array.init (Machine.ncores machine) (fun _ ->
+          Tlb.create ~capacity:params.Params.tlb_entries);
+  }
+
+let kind t = Page_table.kind t.pt
+let page_table t = t.pt
+
+type translation = Hit of int | Miss | Prot_fault of int
+
+let translate t (core : Core.t) ~vpn ~write =
+  let stats = core.Core.stats and params = core.Core.params in
+  match Tlb.lookup t.tlbs.(core.Core.id) vpn with
+  | Some entry ->
+      stats.Stats.tlb_hits <- stats.Stats.tlb_hits + 1;
+      Core.tick core params.Params.tlb_hit;
+      if write && not entry.Tlb.writable then Prot_fault entry.Tlb.pfn
+      else Hit entry.Tlb.pfn
+  | None -> (
+      stats.Stats.tlb_misses <- stats.Stats.tlb_misses + 1;
+      Core.tick core params.Params.hw_walk_base;
+      match Page_table.find t.pt core ~vpn with
+      | Some pte ->
+          stats.Stats.hw_walks <- stats.Stats.hw_walks + 1;
+          Tlb.insert t.tlbs.(core.Core.id) ~vpn ~pfn:pte.Page_table.pfn
+            ~writable:pte.Page_table.writable;
+          if write && not pte.Page_table.writable then
+            Prot_fault pte.Page_table.pfn
+          else Hit pte.Page_table.pfn
+      | None -> Miss)
+
+let install t (core : Core.t) ~vpn ~pfn ~writable =
+  Page_table.install t.pt core ~vpn ~pfn ~writable;
+  Tlb.insert t.tlbs.(core.Core.id) ~vpn ~pfn ~writable
+
+let drop_for_core t ~owner ~lo ~hi =
+  let removed = Page_table.clear_range t.pt ~owner ~lo ~hi in
+  Tlb.invalidate_range t.tlbs.(owner) ~lo ~hi;
+  removed
+
+let drop_tlb_range t ~owner ~lo ~hi =
+  Tlb.invalidate_range t.tlbs.(owner) ~lo ~hi
+
+let discard_for_core t ~owner =
+  ignore (Page_table.clear_range t.pt ~owner ~lo:0 ~hi:max_int);
+  Tlb.flush t.tlbs.(owner)
+
+let tlb_mem t ~core ~vpn = Tlb.mem t.tlbs.(core) vpn
+
+let pt_entry t ~core ~vpn = Page_table.peek t.pt ~owner:core ~vpn

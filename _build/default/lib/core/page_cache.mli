@@ -1,0 +1,34 @@
+(** A page cache for file-backed mappings.
+
+    Maps (file, page) to a physical frame shared by every mapping of that
+    file page — across cores and across address spaces — with the frame's
+    lifetime tracked by the pluggable reference-counting scheme (each
+    cached page holds one base reference; every mapping holds one more).
+    This is the workload behind the paper's Figure 8: processes repeatedly
+    mapping and unmapping shared library pages drive these counts up and
+    down from every core.
+
+    Buckets are individually locked and live on their own cache lines, so
+    lookups of different files do not contend. A miss "reads from disk"
+    (a fixed latency) into a fresh frame. *)
+
+module Make (C : Refcnt.Counter_intf.S) : sig
+  type t
+
+  val create : Ccsim.Machine.t -> C.t -> t
+
+  val get : t -> Ccsim.Core.t -> file:int -> page:int -> int * C.handle
+  (** The frame caching this file page, loading it on a miss. Takes one
+      reference for the caller (dropped when the caller unmaps). *)
+
+  val evict : t -> Ccsim.Core.t -> file:int -> page:int -> unit
+  (** Drop the cache's base reference (memory pressure): the frame is
+      freed once the last mapping goes away; a later [get] reloads it. *)
+
+  val cached_pages : t -> int
+  (** Resident cache entries (for tests). *)
+end
+
+val file_content : file:int -> page:int -> int
+(** The deterministic content word "on disk" for a file page (what a miss
+    loads into the fresh frame). *)

@@ -1,0 +1,112 @@
+open Ccsim
+
+type kind = Per_core | Shared | Grouped of int
+
+type pte = { pfn : int; writable : bool }
+
+(* A table per "domain": one per core, one per group of cores, or one for
+   the whole machine. PTEs are packed eight per cache line within a
+   domain, so walks and installs by different cores of the same domain
+   contend realistically; a per-core domain's lines are only ever touched
+   by their core and stay in its cache. *)
+type t = {
+  kind : kind;
+  machine : Machine.t;
+  maps : (int, pte) Hashtbl.t array;  (* per domain: vpn -> pte *)
+  lines : (int, Line.t) Hashtbl.t;  (* (domain, vpn group) -> line *)
+  group_size : int;
+}
+
+let domains_of machine = function
+  | Per_core -> Machine.ncores machine
+  | Shared -> 1
+  | Grouped g ->
+      if g <= 0 then invalid_arg "Page_table: group size";
+      (Machine.ncores machine + g - 1) / g
+
+let create machine kind =
+  {
+    kind;
+    machine;
+    maps = Array.init (domains_of machine kind) (fun _ -> Hashtbl.create 256);
+    lines = Hashtbl.create 1024;
+    group_size =
+      (match kind with
+      | Per_core -> 1
+      | Shared -> Machine.ncores machine
+      | Grouped g -> g);
+  }
+
+let kind t = t.kind
+
+let domain_of t core_id =
+  match t.kind with
+  | Per_core -> core_id
+  | Shared -> 0
+  | Grouped g -> core_id / g
+
+let line_for t ~domain ~vpn =
+  let key = (domain lsl 40) lor (vpn / 8) in
+  match Hashtbl.find_opt t.lines key with
+  | Some line -> line
+  | None ->
+      let params = Machine.params t.machine in
+      let nsockets =
+        max 1 (params.Params.ncores / params.Params.cores_per_socket)
+      in
+      let line =
+        Line.create params (Machine.stats t.machine)
+          ~home_socket:(key mod nsockets)
+      in
+      Hashtbl.replace t.lines key line;
+      line
+
+let find t (core : Core.t) ~vpn =
+  let domain = domain_of t core.Core.id in
+  Line.read core (line_for t ~domain ~vpn);
+  Hashtbl.find_opt t.maps.(domain) vpn
+
+let install t (core : Core.t) ~vpn ~pfn ~writable =
+  let domain = domain_of t core.Core.id in
+  Line.write core (line_for t ~domain ~vpn);
+  Hashtbl.replace t.maps.(domain) vpn { pfn; writable }
+
+let clear_range t ~owner ~lo ~hi =
+  let map = t.maps.(domain_of t owner) in
+  let removed = ref [] in
+  if hi - lo < Hashtbl.length map then
+    for vpn = lo to hi - 1 do
+      match Hashtbl.find_opt map vpn with
+      | Some pte ->
+          Hashtbl.remove map vpn;
+          removed := (vpn, pte.pfn) :: !removed
+      | None -> ()
+    done
+  else begin
+    let doomed =
+      Hashtbl.fold
+        (fun vpn pte acc ->
+          if vpn >= lo && vpn < hi then (vpn, pte.pfn) :: acc else acc)
+        map []
+    in
+    List.iter (fun (vpn, _) -> Hashtbl.remove map vpn) doomed;
+    removed := doomed
+  end;
+  List.rev !removed
+
+let entries t =
+  Array.fold_left (fun acc map -> acc + Hashtbl.length map) 0 t.maps
+
+let pt_pages t =
+  Array.fold_left
+    (fun acc map ->
+      let leaves = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun vpn _ -> Hashtbl.replace leaves (vpn / Vm_types.ptes_per_page) ())
+        map;
+      acc + Hashtbl.length leaves)
+    0 t.maps
+
+let bytes t = pt_pages t * Vm_types.page_size
+
+let peek t ~owner ~vpn = Hashtbl.find_opt t.maps.(domain_of t owner) vpn

@@ -1,0 +1,449 @@
+open Ccsim
+module Refcache = Refcnt.Refcache
+
+module Make (C : Refcnt.Counter_intf.S) = struct
+  module Cache = Page_cache.Make (C)
+
+  (* Per-page mapping metadata. A freshly mmapped range shares one folded,
+     immutable record; a page's record is privatized (replaced via
+     [Radix.set_page]) before anything mutable — the frame pointer, the
+     COW bit, or the TLB core set — is written. The record lives inline in
+     the page's leaf slot (Figure 3), so its mutations are charged against
+     the slot's cache line, which the fault path already owns through the
+     slot lock. *)
+  type meta = {
+    prot : Vm_types.prot;
+    backing : Vm_types.backing;
+    mutable frame : (int * C.handle) option;
+    mutable cow : bool;  (* shared frame: a write must copy first *)
+    tlb_cores : Bitset.t;  (* cores that may cache this page's translation *)
+  }
+
+  type t = {
+    machine : Machine.t;
+    rc : Refcache.t;  (* tracks radix-tree nodes *)
+    csub : C.t;  (* tracks physical frames *)
+    cache : Cache.t;  (* file-backed pages, shared across address spaces *)
+    tree : meta Radix.t;
+    mmu : Mmu.t;
+    ever_active : Bitset.t;  (* cores that ever used this address space *)
+  }
+
+  let name = "radixvm+" ^ C.name
+
+  let fresh_meta (core : Core.t) ~prot ~backing =
+    {
+      prot;
+      backing;
+      frame = None;
+      cow = false;
+      tlb_cores = Bitset.create core.Core.params.Params.ncores;
+    }
+
+  let create_with ?(mmu = Page_table.Per_core) ?bits ?levels ?collapse
+      ?share_state machine =
+    let rc, csub, cache =
+      match share_state with
+      | Some other -> (other.rc, other.csub, other.cache)
+      | None ->
+          let rc = Refcache.create machine in
+          let csub = C.create machine in
+          (rc, csub, Cache.create machine csub)
+    in
+    let core0 = Machine.core machine 0 in
+    {
+      machine;
+      rc;
+      csub;
+      cache;
+      tree = Radix.create ?bits ?levels ?collapse machine rc core0;
+      mmu = Mmu.create machine mmu;
+      ever_active = Bitset.create (Machine.ncores machine);
+    }
+
+  let create machine = create_with machine
+  let machine t = t.machine
+  let counters t = t.csub
+  let refcache t = t.rc
+  let page_cache t = t.cache
+  let cached_file_pages t = Cache.cached_pages t.cache
+  let evict_file_page t core ~file ~page = Cache.evict t.cache core ~file ~page
+  let radix_nodes t = Radix.node_count t.tree
+  let mmu t = t.mmu
+  let address_space_pages t = Radix.max_vpn t.tree
+
+  let writable m = m.prot = Vm_types.Read_write && not m.cow
+
+  (* With grouped tables, any group member may fill its TLB from the group
+     table without faulting: widen per-core tracking to whole groups. *)
+  let widen_to_groups t targets =
+    match Mmu.kind t.mmu with
+    | Page_table.Per_core | Page_table.Shared -> ()
+    | Page_table.Grouped g ->
+        let ncores = Machine.ncores t.machine in
+        let widened = Bitset.create ncores in
+        Bitset.iter
+          (fun c ->
+            let base = c / g * g in
+            for i = base to min (ncores - 1) (base + g - 1) do
+              Bitset.add widened i
+            done)
+          targets;
+        Bitset.union_into ~dst:targets widened
+
+  (* Clear translations for [lo, hi) on every core in [targets] and send
+     the IPIs; the caller holds the range lock. *)
+  let shootdown t (core : Core.t) ~lo ~hi targets =
+    widen_to_groups t targets;
+    if not (Bitset.is_empty targets) then begin
+      Bitset.iter
+        (fun c -> ignore (Mmu.drop_for_core t.mmu ~owner:c ~lo ~hi))
+        targets;
+      let remote =
+        Bitset.fold
+          (fun c acc -> if c = core.Core.id then acc else c :: acc)
+          targets []
+      in
+      (* Local invalidation is a few instructions. *)
+      Core.tick core core.Core.params.Params.op_cost;
+      if remote <> [] then Ipi.multicast t.machine core ~targets:remote
+    end
+
+  (* Unmap bookkeeping shared by munmap and map-over: with the range still
+     locked, gather the frames and the cores that may cache translations,
+     clear exactly those cores' page tables and TLBs, and interrupt the
+     remote ones. Returns the frame handles whose references the caller
+     drops *after* unlocking (the paper's ordering). *)
+  let cleanup_removed t (core : Core.t) ~lo ~hi removed =
+    let ncores = Machine.ncores t.machine in
+    let targets = Bitset.create ncores in
+    let handles = ref [] in
+    let any_frames = ref false in
+    List.iter
+      (fun (_vpn, _count, m) ->
+        match m.frame with
+        | Some (_pfn, h) ->
+            any_frames := true;
+            handles := h :: !handles;
+            (match Mmu.kind t.mmu with
+            | Page_table.Per_core | Page_table.Grouped _ ->
+                Bitset.union_into ~dst:targets m.tlb_cores
+            | Page_table.Shared -> ())
+        | None -> ())
+      removed;
+    (* Shared page tables give no usage information: if any page was ever
+       faulted, conservatively shoot down every core that used the address
+       space. *)
+    (match Mmu.kind t.mmu with
+    | Page_table.Shared ->
+        if !any_frames then Bitset.union_into ~dst:targets t.ever_active
+    | Page_table.Per_core | Page_table.Grouped _ -> ());
+    shootdown t core ~lo ~hi targets;
+    !handles
+
+  let drop_handles t core handles =
+    List.iter (fun h -> C.dec t.csub core h) handles
+
+  let mmap t (core : Core.t) ~vpn ~npages ?(prot = Vm_types.Read_write)
+      ?(backing = Vm_types.Anon) () =
+    if npages <= 0 then invalid_arg "Radixvm.mmap: npages";
+    let stats = core.Core.stats in
+    stats.Stats.mmaps <- stats.Stats.mmaps + 1;
+    Bitset.add t.ever_active core.Core.id;
+    Core.tick core core.Core.params.Params.op_cost;
+    let lo = vpn and hi = vpn + npages in
+    let lk = Radix.lock_range t.tree core ~lo ~hi in
+    let removed = Radix.clear_range t.tree core lk in
+    let handles = cleanup_removed t core ~lo ~hi removed in
+    Radix.fill_range t.tree core lk (fresh_meta core ~prot ~backing);
+    Radix.unlock_range t.tree core lk;
+    drop_handles t core handles
+
+  let munmap t (core : Core.t) ~vpn ~npages =
+    if npages <= 0 then invalid_arg "Radixvm.munmap: npages";
+    let stats = core.Core.stats in
+    stats.Stats.munmaps <- stats.Stats.munmaps + 1;
+    Core.tick core core.Core.params.Params.op_cost;
+    let lo = vpn and hi = vpn + npages in
+    let lk = Radix.lock_range t.tree core ~lo ~hi in
+    let removed = Radix.clear_range t.tree core lk in
+    let handles = cleanup_removed t core ~lo ~hi removed in
+    Radix.unlock_range t.tree core lk;
+    drop_handles t core handles
+
+  let destroy t core = munmap t core ~vpn:0 ~npages:(Radix.max_vpn t.tree)
+
+  (* mprotect: rewrite the metadata under the range lock. Removing write
+     permission must invalidate cached (possibly writable) translations;
+     granting it needs no shootdown — stale read-only translations upgrade
+     lazily through protection faults. *)
+  let mprotect t (core : Core.t) ~vpn ~npages prot =
+    if npages <= 0 then invalid_arg "Radixvm.mprotect: npages";
+    Core.tick core core.Core.params.Params.op_cost;
+    let lo = vpn and hi = vpn + npages in
+    let lk = Radix.lock_range t.tree core ~lo ~hi in
+    let targets = Bitset.create (Machine.ncores t.machine) in
+    let any_frames = ref false in
+    Radix.update_range t.tree core lk ~f:(fun m ->
+        if m.frame <> None then begin
+          any_frames := true;
+          Bitset.union_into ~dst:targets m.tlb_cores
+        end;
+        { m with prot });
+    if prot = Vm_types.Read_only then begin
+      (match Mmu.kind t.mmu with
+      | Page_table.Shared ->
+          if !any_frames then Bitset.union_into ~dst:targets t.ever_active
+      | Page_table.Per_core | Page_table.Grouped _ -> ());
+      shootdown t core ~lo ~hi targets
+    end;
+    Radix.unlock_range t.tree core lk
+
+  let mmap_shared_frame t (core : Core.t) ~vpn ~npages ~pfn handle =
+    if npages <= 0 then invalid_arg "Radixvm.mmap_shared_frame: npages";
+    let stats = core.Core.stats in
+    stats.Stats.mmaps <- stats.Stats.mmaps + 1;
+    Bitset.add t.ever_active core.Core.id;
+    Core.tick core core.Core.params.Params.op_cost;
+    let lo = vpn and hi = vpn + npages in
+    let lk = Radix.lock_range t.tree core ~lo ~hi in
+    let removed = Radix.clear_range t.tree core lk in
+    let handles = cleanup_removed t core ~lo ~hi removed in
+    for p = lo to hi - 1 do
+      C.inc t.csub core handle;
+      let m = fresh_meta core ~prot:Vm_types.Read_write ~backing:Vm_types.Anon in
+      m.frame <- Some (pfn, handle);
+      Radix.set_page t.tree core lk p m
+    done;
+    Radix.unlock_range t.tree core lk;
+    drop_handles t core handles
+
+  (* Attach a frame to a faulting page, privatizing its metadata record:
+     anonymous pages get a zeroed frame, file pages come from the shared
+     page cache (MAP_SHARED semantics: every mapping of the file page uses
+     the one cached frame). *)
+  let attach_frame t (core : Core.t) lk vpn m =
+    let stats = core.Core.stats in
+    stats.Stats.alloc_faults <- stats.Stats.alloc_faults + 1;
+    let frame =
+      match m.backing with
+      | Vm_types.Anon ->
+          let pfn = Physmem.alloc (Machine.physmem t.machine) core in
+          let handle =
+            C.make t.csub core ~init:1 ~on_free:(fun c ->
+                Physmem.free (Machine.physmem t.machine) c pfn)
+          in
+          (pfn, handle)
+      | Vm_types.File fd -> Cache.get t.cache core ~file:fd ~page:vpn
+    in
+    let m' = fresh_meta core ~prot:m.prot ~backing:m.backing in
+    m'.frame <- Some frame;
+    m'.cow <- m.cow;
+    Radix.set_page t.tree core lk vpn m';
+    m'
+
+  (* Break copy-on-write: copy the shared frame into a private one and
+     drop the reference on the original. *)
+  let break_cow t (core : Core.t) m =
+    match m.frame with
+    | None -> assert false
+    | Some (old_pfn, old_handle) ->
+        let pm = Machine.physmem t.machine in
+        let pfn = Physmem.alloc pm core in
+        (* copying the old page's contents *)
+        Physmem.set_content pm pfn (Physmem.get_content pm old_pfn);
+        Core.tick core core.Core.params.Params.page_zero;
+        let handle =
+          C.make t.csub core ~init:1 ~on_free:(fun c ->
+              Physmem.free (Machine.physmem t.machine) c pfn)
+        in
+        m.frame <- Some (pfn, handle);
+        m.cow <- false;
+        C.dec t.csub core old_handle
+
+  (* The software page-fault handler (section 3.4), for both misses and
+     protection faults (COW breaks and lazy RO->RW upgrades). Returns the
+     frame the access may now use, or [None] for a genuine violation. *)
+  let pagefault t (core : Core.t) vpn ~write =
+    let stats = core.Core.stats in
+    stats.Stats.pagefaults <- stats.Stats.pagefaults + 1;
+    let lk = Radix.lock_range t.tree core ~lo:vpn ~hi:(vpn + 1) in
+    match Radix.get_page t.tree core lk vpn with
+    | None ->
+        Radix.unlock_range t.tree core lk;
+        None
+    | Some m when write && m.prot = Vm_types.Read_only ->
+        Radix.unlock_range t.tree core lk;
+        None
+    | Some m ->
+        let m =
+          match m.frame with
+          | Some _ ->
+              stats.Stats.fill_faults <- stats.Stats.fill_faults + 1;
+              m
+          | None -> attach_frame t core lk vpn m
+        in
+        if write && m.cow then break_cow t core m;
+        let pfn = match m.frame with Some (p, _) -> p | None -> assert false in
+        (match Mmu.kind t.mmu with
+        | Page_table.Per_core | Page_table.Grouped _ ->
+            (* Record this core in the page's shootdown set — a local
+               store; the metadata shares the locked slot's line. *)
+            Core.tick core core.Core.params.Params.l1_hit;
+            Bitset.add m.tlb_cores core.Core.id
+        | Page_table.Shared -> ());
+        Mmu.install t.mmu core ~vpn ~pfn ~writable:(writable m);
+        Radix.unlock_range t.tree core lk;
+        Some pfn
+
+  (* Resolve one user access to the frame it may use. *)
+  let resolve t (core : Core.t) ~vpn ~write =
+    Bitset.add t.ever_active core.Core.id;
+    match Mmu.translate t.mmu core ~vpn ~write with
+    | Mmu.Hit pfn ->
+        (* the user load/store itself *)
+        Core.tick core core.Core.params.Params.l1_hit;
+        Some pfn
+    | Mmu.Miss | Mmu.Prot_fault _ -> pagefault t core vpn ~write
+
+  let access t core ~vpn ~write =
+    match resolve t core ~vpn ~write with
+    | Some _ -> Vm_types.Ok
+    | None -> Vm_types.Segfault
+
+  let touch t core ~vpn = access t core ~vpn ~write:true
+  let read t core ~vpn = access t core ~vpn ~write:false
+
+  let store t core ~vpn value =
+    match resolve t core ~vpn ~write:true with
+    | Some pfn ->
+        Physmem.set_content (Machine.physmem t.machine) pfn value;
+        Vm_types.Ok
+    | None -> Vm_types.Segfault
+
+  let load t core ~vpn =
+    match resolve t core ~vpn ~write:false with
+    | Some pfn -> Some (Physmem.get_content (Machine.physmem t.machine) pfn)
+    | None -> None
+
+  (* fork: duplicate the address space. File-backed pages stay shared
+     through the page cache; anonymous pages become copy-on-write in both
+     parent and child, which requires demoting the parent's cached
+     writable translations (a shootdown that keeps the frames). The whole
+     space is range-locked, so fork serializes against concurrent VM
+     operations on this address space, as in real kernels. *)
+  let fork t (core : Core.t) =
+    Core.tick core core.Core.params.Params.op_cost;
+    let child = create_with ~mmu:(Mmu.kind t.mmu) ~share_state:t t.machine in
+    let lo = 0 and hi = Radix.max_vpn t.tree in
+    let lk = Radix.lock_range t.tree core ~lo ~hi in
+    let child_lk = Radix.lock_range child.tree core ~lo ~hi in
+    let targets = Bitset.create (Machine.ncores t.machine) in
+    (* Demote the parent's writable anonymous pages to COW. *)
+    Radix.update_range t.tree core lk ~f:(fun m ->
+        (match m.frame with
+        | Some _ when m.backing = Vm_types.Anon && m.prot = Vm_types.Read_write
+          ->
+            Bitset.union_into ~dst:targets m.tlb_cores;
+            m.cow <- true
+        | Some _ | None -> ());
+        m);
+    (* Build the child's mappings page by page. *)
+    ignore
+      (Radix.fold_mapped t.tree ~init:() ~f:(fun () vpn m ->
+           Core.tick core core.Core.params.Params.l1_hit;
+           match m.frame with
+           | None ->
+               (* lazy page: child inherits the mapping, no frame *)
+               Radix.set_page child.tree core child_lk vpn
+                 (fresh_meta core ~prot:m.prot ~backing:m.backing)
+           | Some (pfn, handle) ->
+               C.inc t.csub core handle;
+               let cm = fresh_meta core ~prot:m.prot ~backing:m.backing in
+               cm.frame <- Some (pfn, handle);
+               cm.cow <- m.cow;
+               Radix.set_page child.tree core child_lk vpn cm));
+    (* Drop the parent's (possibly writable) translations for demoted
+       pages so the next write faults and copies. *)
+    (match Mmu.kind t.mmu with
+    | Page_table.Shared ->
+        if not (Bitset.is_empty targets) then
+          Bitset.union_into ~dst:targets t.ever_active
+    | Page_table.Per_core | Page_table.Grouped _ -> ());
+    shootdown t core ~lo ~hi targets;
+    Radix.unlock_range child.tree core child_lk;
+    Radix.unlock_range t.tree core lk;
+    child
+
+  (* Memory pressure: RadixVM's page tables are caches of the radix tree
+     and can simply be dropped (section 3.2: "the hardware page tables
+     themselves are cacheable memory that can be discarded by the OS to
+     free memory"). Later accesses re-fault and rebuild them. *)
+  let discard_page_tables t (core : Core.t) =
+    Core.tick core core.Core.params.Params.op_cost;
+    let lo = 0 and hi = Radix.max_vpn t.tree in
+    let lk = Radix.lock_range t.tree core ~lo ~hi in
+    let ncores = Machine.ncores t.machine in
+    let remote = ref [] in
+    for c = 0 to ncores - 1 do
+      Mmu.discard_for_core t.mmu ~owner:c;
+      if c <> core.Core.id then remote := c :: !remote
+    done;
+    Ipi.multicast t.machine core ~targets:!remote;
+    (* No core caches anything now: reset the per-page tracking. *)
+    Radix.update_range t.tree core lk ~f:(fun m ->
+        Bitset.clear m.tlb_cores;
+        m);
+    Radix.unlock_range t.tree core lk
+
+  let mapped t ~vpn = Radix.peek t.tree vpn <> None
+
+  (* Table 2 accounting: tree nodes plus the per-page copies of mapping
+     metadata (pages that have faulted carry a private ~32-byte record;
+     folded pages share one). *)
+  let meta_bytes = 32
+
+  let index_bytes t =
+    let private_records =
+      Radix.fold_mapped t.tree ~init:0 ~f:(fun acc _vpn m ->
+          if m.frame <> None then acc + 1 else acc)
+    in
+    Radix.approx_bytes t.tree + (meta_bytes * private_records)
+
+  let pt_bytes t = Page_table.bytes (Mmu.page_table t.mmu)
+
+  let check_invariants t =
+    Radix.check_invariants t.tree;
+    (* After quiescence, any cached translation must be covered by the
+       page's TLB core set, and no writable translation may survive for a
+       read-only or COW page (per-core MMU only — shared page tables don't
+       track usage). *)
+    if Mmu.kind t.mmu = Page_table.Per_core then
+      ignore
+        (Radix.fold_mapped t.tree ~init:() ~f:(fun () vpn m ->
+             match m.frame with
+             | None -> ()
+             | Some (pfn, _) ->
+                 for c = 0 to Machine.ncores t.machine - 1 do
+                   let pt = Mmu.pt_entry t.mmu ~core:c ~vpn in
+                   let cached =
+                     Mmu.tlb_mem t.mmu ~core:c ~vpn
+                     ||
+                     match pt with
+                     | Some pte -> pte.Page_table.pfn = pfn
+                     | None -> false
+                   in
+                   if cached && not (Bitset.mem m.tlb_cores c) then
+                     Format.kasprintf failwith
+                       "core %d caches vpn %d outside its TLB set" c vpn;
+                   match pt with
+                   | Some pte when pte.Page_table.writable && not (writable m)
+                     ->
+                       Format.kasprintf failwith
+                         "core %d holds a writable PTE for protected vpn %d" c
+                         vpn
+                   | Some _ | None -> ()
+                 done))
+end
+
+module Default = Make (Refcnt.Refcache_counter)

@@ -1,0 +1,57 @@
+(** The common interface of every virtual memory system in this repository
+    (RadixVM, the Linux-like baseline, the Bonsai baseline), so workloads
+    and benchmarks run identical code against all of them.
+
+    Addresses are virtual page numbers; [touch] is a user-level store: TLB
+    hit, or hardware page-table walk, or a software page fault into the VM
+    system — whichever the configuration implies. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : Ccsim.Machine.t -> t
+  (** Default configuration (each VM also exposes a richer constructor). *)
+
+  val machine : t -> Ccsim.Machine.t
+
+  val mmap :
+    t ->
+    Ccsim.Core.t ->
+    vpn:int ->
+    npages:int ->
+    ?prot:Vm_types.prot ->
+    ?backing:Vm_types.backing ->
+    unit ->
+    unit
+  (** Map [vpn, vpn + npages); replaces any existing mappings in the range
+      (with full munmap semantics for the displaced pages). *)
+
+  val munmap : t -> Ccsim.Core.t -> vpn:int -> npages:int -> unit
+  (** Unmap the range: after return no core's TLB holds a translation for
+      it and the backing frames have been released (possibly lazily, via
+      Refcache). *)
+
+  val touch : t -> Ccsim.Core.t -> vpn:int -> Vm_types.access_result
+  (** User-level write to one page ([Segfault] on unmapped or read-only
+      pages). *)
+
+  val read : t -> Ccsim.Core.t -> vpn:int -> Vm_types.access_result
+  (** User-level load from one page. *)
+
+  val mprotect :
+    t -> Ccsim.Core.t -> vpn:int -> npages:int -> Vm_types.prot -> unit
+  (** Change the protection of a mapped range. Removing write permission
+      invalidates cached translations (with shootdowns); granting it is
+      lazy. *)
+
+  val mapped : t -> vpn:int -> bool
+  (** Uncharged oracle: is the page currently mapped? *)
+
+  val index_bytes : t -> int
+  (** Memory used by the address-space index structure (Table 2). *)
+
+  val pt_bytes : t -> int
+  (** Memory used by hardware page tables (Table 2, section 5.4). *)
+end

@@ -1,0 +1,26 @@
+(** Shared vocabulary for every VM system in the repository. *)
+
+type prot = Read_only | Read_write
+
+type backing =
+  | Anon  (** demand-zero anonymous memory *)
+  | File of int  (** file-backed mapping; the int names the file *)
+
+(** Result of a user-level page access. *)
+type access_result =
+  | Ok  (** translation present or fault handled *)
+  | Segfault  (** access to an unmapped page *)
+
+let pp_prot ppf = function
+  | Read_only -> Format.pp_print_string ppf "r--"
+  | Read_write -> Format.pp_print_string ppf "rw-"
+
+let pp_backing ppf = function
+  | Anon -> Format.pp_print_string ppf "anon"
+  | File fd -> Format.fprintf ppf "file:%d" fd
+
+let page_size = 4096
+(** Bytes per page, for memory-overhead accounting. *)
+
+let ptes_per_page = 512
+(** Page-table entries per page-table page (x86-64). *)

@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Ccsim Core Hashtbl List Machine Params Stdlib Vfs Vm

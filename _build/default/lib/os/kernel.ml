@@ -1,0 +1,218 @@
+open Ccsim
+module R = Vm.Radixvm.Default
+
+type errno = EINVAL | ENOENT | ESRCH | ECHILD
+
+type 'a result = ('a, errno) Stdlib.result
+
+let errno_to_string = function
+  | EINVAL -> "EINVAL"
+  | ENOENT -> "ENOENT"
+  | ESRCH -> "ESRCH"
+  | ECHILD -> "ECHILD"
+
+type state = Running | Zombie of int
+
+type process = {
+  pid : int;
+  mutable vm : R.t;
+  mutable brk : int;  (* heap end in pages; heap is [heap_base, brk) *)
+  mutable text_pages : int;
+  mutable state : state;
+  mutable parent : int;
+  mutable children : int list;
+}
+
+type t = {
+  machine : Machine.t;
+  vfs : Vfs.t;
+  procs : (int, process) Hashtbl.t;
+  mutable next_pid : int;
+  init : process;
+}
+
+(* Conventional layout, in pages (the space covers 2^36 pages). *)
+let text_base = 0x400
+let heap_base = 0x100_000
+let stack_pages = 64
+let stack_base = (1 lsl 30) - stack_pages
+
+(* Kernel entry: mode switch, register save, dispatch. *)
+let syscall_entry (core : Core.t) =
+  Core.tick core (3 * core.Core.params.Params.op_cost)
+
+let boot machine =
+  let core0 = Machine.core machine 0 in
+  let init_vm = R.create machine in
+  (* init gets a stack but no text: it exists to be forked from *)
+  R.mmap init_vm core0 ~vpn:stack_base ~npages:stack_pages ();
+  let init =
+    {
+      pid = 1;
+      vm = init_vm;
+      brk = heap_base;
+      text_pages = 0;
+      state = Running;
+      parent = 1;
+      children = [];
+    }
+  in
+  let t =
+    { machine; vfs = Vfs.create (); procs = Hashtbl.create 16; next_pid = 2; init }
+  in
+  Hashtbl.replace t.procs 1 init;
+  t
+
+let vfs t = t.vfs
+let init_process t = t.init
+let pid p = p.pid
+let parent_pid p = p.parent
+let alive p = p.state = Running
+let process_count t = Hashtbl.length t.procs
+let vm p = p.vm
+let brk p = p.brk
+
+let check_running p = if p.state <> Running then Error ESRCH else Ok ()
+
+let sys_fork t core p =
+  syscall_entry core;
+  match check_running p with
+  | Error _ as e -> e
+  | Ok () ->
+      let child_vm = R.fork p.vm core in
+      let child =
+        {
+          pid = t.next_pid;
+          vm = child_vm;
+          brk = p.brk;
+          text_pages = p.text_pages;
+          state = Running;
+          parent = p.pid;
+          children = [];
+        }
+      in
+      t.next_pid <- t.next_pid + 1;
+      Hashtbl.replace t.procs child.pid child;
+      p.children <- child.pid :: p.children;
+      Ok child
+
+let sys_exec t core p ~path =
+  syscall_entry core;
+  match check_running p with
+  | Error _ as e -> e
+  | Ok () -> (
+      match Vfs.open_file t.vfs path with
+      | None -> Error ENOENT
+      | Some fd ->
+          let text_pages =
+            match Vfs.size_pages t.vfs fd with Some n -> n | None -> 0
+          in
+          (* Tear down the old image; keep the kernel-shared state (page
+             cache, counters) by building the replacement from it. *)
+          let fresh = R.create_with ~share_state:p.vm t.machine in
+          R.destroy p.vm core;
+          p.vm <- fresh;
+          R.mmap p.vm core ~vpn:text_base ~npages:text_pages
+            ~prot:Vm.Vm_types.Read_only ~backing:(Vm.Vm_types.File fd) ();
+          R.mmap p.vm core ~vpn:stack_base ~npages:stack_pages ();
+          p.brk <- heap_base;
+          p.text_pages <- text_pages;
+          Ok ())
+
+let sys_exit t core p ~code =
+  syscall_entry core;
+  if p.state = Running then begin
+    R.destroy p.vm core;
+    p.state <- Zombie code;
+    (* Orphans go to init. *)
+    List.iter
+      (fun cpid ->
+        match Hashtbl.find_opt t.procs cpid with
+        | Some c ->
+            c.parent <- 1;
+            t.init.children <- cpid :: t.init.children
+        | None -> ())
+      p.children;
+    p.children <- []
+  end
+
+let sys_wait t p =
+  let rec find = function
+    | [] -> None
+    | cpid :: rest -> (
+        match Hashtbl.find_opt t.procs cpid with
+        | Some { state = Zombie code; _ } -> Some (cpid, code, rest)
+        | Some _ | None -> (
+            match find rest with
+            | Some (z, c, remaining) -> Some (z, c, cpid :: remaining)
+            | None -> None))
+  in
+  if p.children = [] then Error ECHILD
+  else
+    match find p.children with
+    | Some (zpid, code, remaining) ->
+        p.children <- remaining;
+        Hashtbl.remove t.procs zpid;
+        Ok (zpid, code)
+    | None -> Error ECHILD
+
+let sys_sbrk _t core p ~pages =
+  syscall_entry core;
+  match check_running p with
+  | Error e -> Error e
+  | Ok () ->
+      let old = p.brk in
+      let next = old + pages in
+      if next < heap_base || next > stack_base then Error EINVAL
+      else begin
+        if pages > 0 then R.mmap p.vm core ~vpn:old ~npages:pages ()
+        else if pages < 0 then R.munmap p.vm core ~vpn:next ~npages:(-pages);
+        p.brk <- next;
+        Ok old
+      end
+
+let check_range p ~vpn ~npages =
+  if npages <= 0 || vpn < 0 || vpn + npages > R.address_space_pages p.vm then
+    Error EINVAL
+  else Ok ()
+
+let sys_mmap t core p ~vpn ~npages ?(prot = Vm.Vm_types.Read_write) ?file () =
+  syscall_entry core;
+  match (check_running p, check_range p ~vpn ~npages) with
+  | (Error _ as e), _ | _, (Error _ as e) -> e
+  | Ok (), Ok () -> (
+      match file with
+      | None ->
+          R.mmap p.vm core ~vpn ~npages ~prot ();
+          Ok ()
+      | Some fd -> (
+          match Vfs.size_pages t.vfs fd with
+          | None -> Error EINVAL
+          | Some size when npages > size -> Error EINVAL
+          | Some _ ->
+              R.mmap p.vm core ~vpn ~npages ~prot
+                ~backing:(Vm.Vm_types.File fd) ();
+              Ok ()))
+
+let sys_munmap _t core p ~vpn ~npages =
+  syscall_entry core;
+  match (check_running p, check_range p ~vpn ~npages) with
+  | (Error _ as e), _ | _, (Error _ as e) -> e
+  | Ok (), Ok () ->
+      R.munmap p.vm core ~vpn ~npages;
+      Ok ()
+
+let sys_mprotect _t core p ~vpn ~npages prot =
+  syscall_entry core;
+  match (check_running p, check_range p ~vpn ~npages) with
+  | (Error _ as e), _ | _, (Error _ as e) -> e
+  | Ok (), Ok () ->
+      R.mprotect p.vm core ~vpn ~npages prot;
+      Ok ()
+
+let store _t core p ~vpn value =
+  if p.state <> Running then Vm.Vm_types.Segfault
+  else R.store p.vm core ~vpn value
+
+let load _t core p ~vpn =
+  if p.state <> Running then None else R.load p.vm core ~vpn

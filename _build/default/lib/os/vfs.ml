@@ -1,0 +1,27 @@
+type fd = int
+
+type t = {
+  by_name : (string, fd) Hashtbl.t;
+  sizes : (fd, int) Hashtbl.t;
+  mutable next_fd : int;
+}
+
+let create () =
+  { by_name = Hashtbl.create 16; sizes = Hashtbl.create 16; next_fd = 3 }
+
+let create_file t ~name ~pages =
+  if pages <= 0 then invalid_arg "Vfs.create_file";
+  match Hashtbl.find_opt t.by_name name with
+  | Some fd ->
+      Hashtbl.replace t.sizes fd pages;
+      fd
+  | None ->
+      let fd = t.next_fd in
+      t.next_fd <- fd + 1;
+      Hashtbl.replace t.by_name name fd;
+      Hashtbl.replace t.sizes fd pages;
+      fd
+
+let open_file t name = Hashtbl.find_opt t.by_name name
+let size_pages t fd = Hashtbl.find_opt t.sizes fd
+let file_count t = Hashtbl.length t.sizes

@@ -1,0 +1,18 @@
+(** A minimal in-memory file system: named files with fixed sizes whose
+    page contents come from {!Vm.Page_cache.file_content}. Exists so the
+    syscall layer can validate file-backed mmaps (bad fd, range beyond
+    EOF) and share file pages between processes through the page cache. *)
+
+type t
+type fd = int
+
+val create : unit -> t
+
+val create_file : t -> name:string -> pages:int -> fd
+(** Create (or truncate) a file of [pages] pages; returns its fd. *)
+
+val open_file : t -> string -> fd option
+val size_pages : t -> fd -> int option
+(** [None] for an unknown fd. *)
+
+val file_count : t -> int

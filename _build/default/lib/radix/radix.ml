@@ -1,0 +1,445 @@
+open Ccsim
+module Refcache = Refcnt.Refcache
+
+type 'v slot = Empty | Folded of 'v | Child of 'v node
+
+and 'v node = {
+  level : int;  (* 0 = leaf *)
+  base : int;  (* first vpn covered by this node *)
+  slots : 'v slot array;
+  lines : Line.t array;  (* slot i lives on line (i / slots_per_line) *)
+  locks : Lock.t array;  (* the per-slot lock bit, on the slot's line *)
+  obj : Refcache.obj;  (* used-slot count (plus traversal pins) *)
+  weak : Refcache.weakref;
+  mutable parent : ('v node * int) option;
+  mutable dead : bool;
+}
+
+type 'v t = {
+  machine : Machine.t;
+  rc : Refcache.t;
+  fanout : int;
+  levels : int;
+  collapse : bool;
+  pages_per_slot : int array;  (* indexed by level: fanout^level *)
+  mutable root : 'v node option;  (* None only while [create] runs *)
+  mutable nodes : int;
+}
+
+let root t =
+  match t.root with
+  | Some node -> node
+  | None -> invalid_arg "Radix: tree not initialized"
+
+
+type 'v locked = {
+  lk_lo : int;
+  lk_hi : int;
+  mutable spans : ('v node * int * int) list;
+  mutable pins : 'v node list;
+}
+
+(* Interior slots are pointer-sized, eight per 64-byte line (false sharing
+   between neighbouring slots is real and modeled). Leaf slots hold the
+   per-page mapping metadata inline (~40-64 bytes in sv6, Figure 3), so
+   each leaf slot occupies its own line — page faults on adjacent pages
+   do not share cache lines. *)
+let slots_per_line level = if level = 0 then 1 else 8
+
+let line_of node i = node.lines.(i / slots_per_line node.level)
+let max_vpn t = t.pages_per_slot.(t.levels - 1) * t.fanout
+
+let read_slot core node i =
+  Line.read core (line_of node i);
+  node.slots.(i)
+
+(* Write a slot and maintain the node's used-slot count through Refcache. *)
+let write_slot t core node i v =
+  Line.write core (line_of node i);
+  let old = node.slots.(i) in
+  node.slots.(i) <- v;
+  match (old, v) with
+  | Empty, Empty -> ()
+  | Empty, _ -> Refcache.inc t.rc core node.obj
+  | _, Empty -> Refcache.dec t.rc core node.obj
+  | _, _ -> ()
+
+(* Collapse: called by Refcache when a node's count reaches a stable zero
+   (only reachable when [collapse] is on — otherwise the permanent anchor
+   reference keeps every node alive). Unlinks the node from its parent. *)
+let on_node_free t core node =
+  node.dead <- true;
+  t.nodes <- t.nodes - 1;
+  match node.parent with
+  | None -> ()
+  | Some (p, i) ->
+      Lock.acquire core p.locks.(i);
+      (match p.slots.(i) with
+      | Child n when n == node -> write_slot t core p i Empty
+      | Empty | Folded _ | Child _ -> ());
+      Lock.release core p.locks.(i)
+
+let alloc_node t (core : Core.t) ~level ~base ~content =
+  let fanout = t.fanout in
+  let spl = slots_per_line level in
+  let nlines = (fanout + spl - 1) / spl in
+  let lines =
+    Array.init nlines (fun _ ->
+        Line.create core.Core.params core.Core.stats
+          ~home_socket:core.Core.socket)
+  in
+  let used = match content with Empty -> 0 | Folded _ | Child _ -> fanout in
+  let anchor = if t.collapse then 0 else 1 in
+  let node_ref = ref None in
+  let free c = match !node_ref with Some n -> on_node_free t c n | None -> () in
+  let obj, weak =
+    Refcache.make_weak_obj t.rc core ~init:(used + anchor) ~free
+  in
+  let node =
+    {
+      level;
+      base;
+      slots = Array.make fanout content;
+      lines;
+      locks = Array.init fanout (fun i -> Lock.create_on lines.(i / spl));
+      obj;
+      weak;
+      parent = None;
+      dead = false;
+    }
+  in
+  node_ref := Some node;
+  t.nodes <- t.nodes + 1;
+  (* Allocating and initializing a node costs about a page of writes. *)
+  Core.tick core core.Core.params.Params.page_zero;
+  node
+
+let create ?(bits = 9) ?(levels = 4) ?(collapse = false) machine rc core =
+  if bits < 1 || bits > 9 then invalid_arg "Radix.create: bits";
+  if levels < 1 then invalid_arg "Radix.create: levels";
+  let fanout = 1 lsl bits in
+  let pages_per_slot =
+    Array.init levels (fun l ->
+        let rec pow acc k = if k = 0 then acc else pow (acc * fanout) (k - 1) in
+        pow 1 l)
+  in
+  let t =
+    {
+      machine;
+      rc;
+      fanout;
+      levels;
+      collapse;
+      pages_per_slot;
+      root = None;
+      nodes = 0;
+    }
+  in
+  let root = alloc_node t core ~level:(levels - 1) ~base:0 ~content:Empty in
+  (* The root must never be collapsed: give it a permanent reference even
+     when collapsing is enabled. *)
+  if collapse then Refcache.inc rc core root.obj;
+  t.root <- Some root;
+  t
+
+(* Expand a locked interior slot one level: the child replicates the slot's
+   folded content and is born with every slot locked by the expanding
+   operation (the paper's lock-bit propagation). *)
+let expand t core parent i content lk =
+  assert (parent.level > 0);
+  let span = t.pages_per_slot.(parent.level) in
+  let child =
+    alloc_node t core ~level:(parent.level - 1)
+      ~base:(parent.base + (i * span))
+      ~content
+  in
+  child.parent <- Some (parent, i);
+  for j = 0 to t.fanout - 1 do
+    Lock.acquire core child.locks.(j)
+  done;
+  lk.spans <- (child, 0, t.fanout - 1) :: lk.spans;
+  write_slot t core parent i (Child child);
+  child
+
+let slot_bounds t node i =
+  let span = t.pages_per_slot.(node.level) in
+  let lo = node.base + (i * span) in
+  (lo, lo + span)
+
+let clamp lo hi slot_lo slot_hi = (max lo slot_lo, min hi slot_hi)
+
+let lock_range t core ~lo ~hi =
+  if not (0 <= lo && lo < hi && hi <= max_vpn t) then
+    invalid_arg "Radix.lock_range: bad range";
+  let lk = { lk_lo = lo; lk_hi = hi; spans = []; pins = [] } in
+  let rec go node lo hi =
+    let span = t.pages_per_slot.(node.level) in
+    let first = (lo - node.base) / span in
+    let last = (hi - 1 - node.base) / span in
+    if node.level = 0 then begin
+      for i = first to last do
+        Lock.acquire core node.locks.(i)
+      done;
+      lk.spans <- (node, first, last) :: lk.spans
+    end
+    else
+      let rec do_slot i =
+        let slot_lo, slot_hi = slot_bounds t node i in
+        match read_slot core node i with
+        | Child n -> (
+            match Refcache.tryget t.rc core n.weak with
+            | Some _ ->
+                lk.pins <- n :: lk.pins;
+                let l, h = clamp lo hi slot_lo slot_hi in
+                go n l h
+            | None ->
+                (* The child was collapsed under us; clean up and retry. *)
+                Lock.acquire core node.locks.(i);
+                (match node.slots.(i) with
+                | Child n' when n'.dead -> write_slot t core node i Empty
+                | Empty | Folded _ | Child _ -> ());
+                Lock.release core node.locks.(i);
+                do_slot i)
+        | Empty | Folded _ ->
+            (* Lock at interior granularity; expansion, if needed, happens
+               later under this lock. *)
+            Lock.acquire core node.locks.(i);
+            lk.spans <- (node, i, i) :: lk.spans
+      in
+      for i = first to last do
+        do_slot i
+      done
+  in
+  go (root t) lo hi;
+  lk
+
+let unlock_range t core lk =
+  List.iter
+    (fun (node, i0, i1) ->
+      for i = i0 to i1 do
+        Lock.release core node.locks.(i)
+      done)
+    lk.spans;
+  List.iter (fun node -> Refcache.dec t.rc core node.obj) lk.pins;
+  lk.spans <- [];
+  lk.pins <- []
+
+let check_in_range lk ~lo ~hi op =
+  if lo < lk.lk_lo || hi > lk.lk_hi then
+    invalid_arg (op ^ ": outside the locked range")
+
+let fill_range t core lk v =
+  let lo = lk.lk_lo and hi = lk.lk_hi in
+  let rec fill node lo hi =
+    let span = t.pages_per_slot.(node.level) in
+    let first = (lo - node.base) / span in
+    let last = (hi - 1 - node.base) / span in
+    for i = first to last do
+      let slot_lo, slot_hi = slot_bounds t node i in
+      let full = lo <= slot_lo && slot_hi <= hi in
+      if node.level = 0 then begin
+        (match node.slots.(i) with
+        | Empty -> ()
+        | Folded _ | Child _ -> invalid_arg "Radix.fill_range: page mapped");
+        write_slot t core node i (Folded v)
+      end
+      else
+        match read_slot core node i with
+        | Child n ->
+            let l, h = clamp lo hi slot_lo slot_hi in
+            fill n l h
+        | Folded _ -> invalid_arg "Radix.fill_range: range mapped"
+        | Empty ->
+            if full then write_slot t core node i (Folded v)
+            else begin
+              let child = expand t core node i Empty lk in
+              let l, h = clamp lo hi slot_lo slot_hi in
+              fill child l h
+            end
+    done
+  in
+  fill (root t) lo hi
+
+let clear_range t core lk =
+  let lo = lk.lk_lo and hi = lk.lk_hi in
+  let acc = ref [] in
+  let rec clear node lo hi =
+    let span = t.pages_per_slot.(node.level) in
+    let first = (lo - node.base) / span in
+    let last = (hi - 1 - node.base) / span in
+    for i = first to last do
+      let slot_lo, slot_hi = slot_bounds t node i in
+      let full = lo <= slot_lo && slot_hi <= hi in
+      if node.level = 0 then (
+        match read_slot core node i with
+        | Empty -> ()
+        | Folded v ->
+            acc := (node.base + i, 1, v) :: !acc;
+            write_slot t core node i Empty
+        | Child _ -> assert false)
+      else
+        match read_slot core node i with
+        | Empty -> ()
+        | Child n ->
+            let l, h = clamp lo hi slot_lo slot_hi in
+            clear n l h
+        | Folded v ->
+            if full then begin
+              acc := (slot_lo, span, v) :: !acc;
+              write_slot t core node i Empty
+            end
+            else begin
+              (* Partially unmapping a folded run: expand so the surviving
+                 part keeps its mapping. *)
+              let child = expand t core node i (Folded v) lk in
+              let l, h = clamp lo hi slot_lo slot_hi in
+              clear child l h
+            end
+    done
+  in
+  clear (root t) lo hi;
+  List.rev !acc
+
+let update_range t core lk ~f =
+  let lo = lk.lk_lo and hi = lk.lk_hi in
+  let rec update node lo hi =
+    let span = t.pages_per_slot.(node.level) in
+    let first = (lo - node.base) / span in
+    let last = (hi - 1 - node.base) / span in
+    for i = first to last do
+      let slot_lo, slot_hi = slot_bounds t node i in
+      let full = lo <= slot_lo && slot_hi <= hi in
+      if node.level = 0 then (
+        match read_slot core node i with
+        | Empty -> ()
+        | Folded v -> write_slot t core node i (Folded (f v))
+        | Child _ -> assert false)
+      else
+        match read_slot core node i with
+        | Empty -> ()
+        | Child n ->
+            let l, h = clamp lo hi slot_lo slot_hi in
+            update n l h
+        | Folded v ->
+            if full then write_slot t core node i (Folded (f v))
+            else begin
+              let child = expand t core node i (Folded v) lk in
+              let l, h = clamp lo hi slot_lo slot_hi in
+              update child l h
+            end
+    done
+  in
+  update (root t) lo hi
+
+let get_page t core lk vpn =
+  check_in_range lk ~lo:vpn ~hi:(vpn + 1) "Radix.get_page";
+  let rec get node =
+    let span = t.pages_per_slot.(node.level) in
+    let i = (vpn - node.base) / span in
+    match read_slot core node i with
+    | Empty -> None
+    | Folded v -> Some v
+    | Child n -> get n
+  in
+  get (root t)
+
+let set_page t core lk vpn v =
+  check_in_range lk ~lo:vpn ~hi:(vpn + 1) "Radix.set_page";
+  let rec set node =
+    let span = t.pages_per_slot.(node.level) in
+    let i = (vpn - node.base) / span in
+    if node.level = 0 then write_slot t core node i (Folded v)
+    else
+      match read_slot core node i with
+      | Child n -> set n
+      | (Empty | Folded _) as content ->
+          let child = expand t core node i content lk in
+          set child
+  in
+  set (root t)
+
+let lookup t core vpn =
+  if vpn < 0 || vpn >= max_vpn t then invalid_arg "Radix.lookup";
+  let rec look node =
+    let span = t.pages_per_slot.(node.level) in
+    let i = (vpn - node.base) / span in
+    match read_slot core node i with
+    | Empty -> None
+    | Folded v -> Some v
+    | Child n -> (
+        match Refcache.tryget t.rc core n.weak with
+        | Some _ ->
+            let r = look n in
+            Refcache.dec t.rc core n.obj;
+            r
+        | None -> None)
+  in
+  look (root t)
+
+let node_count t = t.nodes
+
+let approx_bytes t =
+  (* slots + lock bits + header, per node *)
+  let node_bytes = (t.fanout * 8) + 64 in
+  t.nodes * node_bytes
+
+let peek t vpn =
+  let rec look node =
+    let span = t.pages_per_slot.(node.level) in
+    let i = (vpn - node.base) / span in
+    match node.slots.(i) with
+    | Empty -> None
+    | Folded v -> Some v
+    | Child n -> look n
+  in
+  if vpn < 0 || vpn >= max_vpn t then None else look (root t)
+
+let fold_mapped t ~init ~f =
+  let rec walk node acc =
+    let span = t.pages_per_slot.(node.level) in
+    let acc = ref acc in
+    for i = 0 to t.fanout - 1 do
+      match node.slots.(i) with
+      | Empty -> ()
+      | Child n -> acc := walk n !acc
+      | Folded v ->
+          let base = node.base + (i * span) in
+          for p = base to base + span - 1 do
+            acc := f !acc p v
+          done
+    done;
+    !acc
+  in
+  walk (root t) init
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  let rec walk node =
+    if node.dead then fail "live tree references dead node at %d" node.base;
+    let used = ref 0 in
+    Array.iteri
+      (fun i s ->
+        match s with
+        | Empty -> ()
+        | Folded _ -> incr used
+        | Child n ->
+            incr used;
+            if node.level = 0 then fail "leaf node has a child slot";
+            if n.level <> node.level - 1 then fail "child level mismatch";
+            let span = t.pages_per_slot.(node.level) in
+            if n.base <> node.base + (i * span) then fail "child base mismatch";
+            (match n.parent with
+            | Some (p, j) when p == node && j = i -> ()
+            | _ -> fail "child parent link mismatch");
+            walk n)
+      node.slots;
+    let anchor =
+      if node == root t then 1 else if t.collapse then 0 else 1
+    in
+    let expected = !used + anchor in
+    let actual = Refcache.true_count t.rc node.obj in
+    if actual <> expected then
+      fail "node at %d (level %d): used=%d anchor=%d but true count=%d"
+        node.base node.level !used anchor actual
+  in
+  walk (root t)

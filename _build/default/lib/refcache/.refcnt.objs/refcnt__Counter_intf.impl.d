@@ -1,0 +1,1 @@
+lib/refcache/counter_intf.ml: Ccsim

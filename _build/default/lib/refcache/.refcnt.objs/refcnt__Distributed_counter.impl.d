@@ -1,0 +1,1 @@
+lib/refcache/distributed_counter.ml: Array Ccsim Cell Core Machine Params

@@ -1,0 +1,1 @@
+lib/refcache/refcache.ml: Array Ccsim Cell Core Line Lock Machine Params Queue

@@ -1,0 +1,1 @@
+lib/refcache/refcache.mli: Ccsim

@@ -1,0 +1,1 @@
+lib/refcache/refcache_counter.ml: Ccsim Refcache

@@ -1,0 +1,1 @@
+lib/refcache/shared_counter.ml: Ccsim Cell Core Params

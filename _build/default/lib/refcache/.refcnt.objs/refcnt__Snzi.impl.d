@@ -1,0 +1,1 @@
+lib/refcache/snzi.ml: Array Ccsim Cell Core Machine Params

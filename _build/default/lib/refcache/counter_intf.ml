@@ -1,0 +1,32 @@
+(** Common interface for the reference-counting schemes compared in
+    Figure 8: Refcache, a shared atomic counter, SNZI, and a distributed
+    per-core counter. The benchmark and tests are functorized over this so
+    every scheme runs the identical workload. *)
+
+module type S = sig
+  type t
+  (** The counting subsystem (per-machine state). *)
+
+  type handle
+  (** One reference-counted object. *)
+
+  val name : string
+
+  val create : Ccsim.Machine.t -> t
+
+  val make :
+    t -> Ccsim.Core.t -> init:int -> on_free:(Ccsim.Core.t -> unit) -> handle
+  (** A counter starting at [init]; [on_free] fires (once) when the scheme
+      concludes the count has reached zero for good. *)
+
+  val inc : t -> Ccsim.Core.t -> handle -> unit
+  val dec : t -> Ccsim.Core.t -> handle -> unit
+
+  val value : t -> handle -> int
+  (** True current value; uncharged, for tests. *)
+
+  val bytes_per_object : Ccsim.Params.t -> int
+  (** Modeled per-object space, to reproduce the paper's space argument
+      (Refcache is O(1) per object; SNZI and distributed counters are
+      O(cores) per object). *)
+end

@@ -1,0 +1,47 @@
+(** Distributed (per-core) reference counter — the classic scalable-counter
+    design discussed in section 2: one counter word per core per object.
+    Increments are purely local, but discovering the true total (needed to
+    detect zero on every decrement that might be the last) requires reading
+    every core's word, and space is O(cores) per object — the two costs
+    Refcache is designed to avoid. *)
+
+open Ccsim
+
+type t = { ncores : int }
+
+type handle = {
+  cells : int Cell.t array;  (* one line per core *)
+  on_free : Core.t -> unit;
+  mutable freed : bool;
+}
+
+let name = "distributed"
+let create machine = { ncores = Machine.ncores machine }
+
+let make t core ~init ~on_free =
+  if init < 0 then invalid_arg "Distributed_counter.make";
+  let cells = Array.init t.ncores (fun _ -> Cell.make core 0) in
+  Cell.poke cells.(core.Core.id) init;
+  { cells; on_free; freed = false }
+
+let inc _t (core : Core.t) h =
+  assert (not h.freed);
+  ignore (Cell.fetch_add core h.cells.(core.Core.id) 1)
+
+let dec t (core : Core.t) h =
+  assert (not h.freed);
+  ignore (Cell.fetch_add core h.cells.(core.Core.id) (-1));
+  (* Zero detection: sum every per-core word. *)
+  let total = ref 0 in
+  for i = 0 to t.ncores - 1 do
+    total := !total + Cell.read core h.cells.(i)
+  done;
+  if !total = 0 then begin
+    h.freed <- true;
+    h.on_free core
+  end
+
+let value _t h =
+  Array.fold_left (fun acc c -> acc + Cell.peek c) 0 h.cells
+
+let bytes_per_object (p : Params.t) = p.Params.ncores * 64

@@ -1,0 +1,266 @@
+open Ccsim
+
+type obj = {
+  oid : int;
+  refcnt : int Cell.t;  (* the global count, on its own line *)
+  lock : Lock.t;
+  mutable dirty : bool;  (* global count left zero during this epoch? *)
+  mutable on_review : bool;
+  mutable freed : bool;
+  free : Core.t -> unit;
+  mutable weak : weakref option;
+}
+
+and weakref = {
+  mutable target : obj option;
+  mutable dying : bool;
+  wline : Line.t;
+}
+
+type slot = { mutable sobj : obj option; mutable delta : int }
+type percore = { slots : slot array; review : (obj * int) Queue.t }
+
+type t = {
+  machine : Machine.t;
+  mask : int;
+  percore : percore array;
+  mutable global_epoch : int;
+  flushed : bool array;
+  mutable nflushed : int;
+  mutable next_oid : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let hash_obj t obj = obj.oid * 0x9E3779B1 land t.mask
+
+let queue_for_review t (core : Core.t) obj =
+  obj.dirty <- false;
+  (match obj.weak with
+  | Some w ->
+      Line.write core w.wline;
+      w.dying <- true
+  | None -> ());
+  obj.on_review <- true;
+  Queue.push (obj, t.global_epoch) t.percore.(core.Core.id).review
+
+(* Apply a cached delta to the object's global count (Figure 2, evict). *)
+let evict t (core : Core.t) obj delta =
+  Lock.acquire core obj.lock;
+  let old = Cell.fetch_add core obj.refcnt delta in
+  if old + delta = 0 then
+    if not obj.on_review then queue_for_review t core obj
+    else obj.dirty <- true;
+  Lock.release core obj.lock
+
+(* The delta cache is two-way set-associative: an object hashes to a set
+   of two slots and evicts the other way's entry only when both miss.
+   This keeps the conflict rate low even when a few extremely hot objects
+   (pinned interior radix nodes) coexist with a stream of cold ones
+   (per-page frame counts) — the space/scalability trade-off the paper
+   says the conflict rate controls. *)
+let cached_delta t (core : Core.t) obj d =
+  assert (not obj.freed);
+  (* The delta cache is core-private: constant local cost, no line traffic. *)
+  Core.tick core (2 * core.Core.params.Params.l1_hit);
+  let slots = t.percore.(core.Core.id).slots in
+  let way0 = hash_obj t obj land lnot 1 in
+  let s0 = slots.(way0) and s1 = slots.(way0 lor 1) in
+  let s =
+    match (s0.sobj, s1.sobj) with
+    | Some o, _ when o == obj -> s0
+    | _, Some o when o == obj -> s1
+    | None, _ -> s0
+    | _, None -> s1
+    | Some _, Some _ ->
+        (* Both ways busy: evict the smaller-delta way (hot pinned objects
+           carry transient non-zero deltas mid-operation; evicting them
+           would write their shared global count). *)
+        let victim = if abs s0.delta <= abs s1.delta then s0 else s1 in
+        (match victim.sobj with
+        | Some o when victim.delta <> 0 -> evict t core o victim.delta
+        | _ -> ());
+        victim.sobj <- None;
+        victim.delta <- 0;
+        victim
+  in
+  if
+    match s.sobj with
+    | Some o -> not (o == obj)
+    | None -> true
+  then begin
+    s.sobj <- Some obj;
+    s.delta <- 0
+  end;
+  s.delta <- s.delta + d
+
+let inc t core obj = cached_delta t core obj 1
+let dec t core obj = cached_delta t core obj (-1)
+
+(* Process this core's review queue (Figure 2, review). *)
+let review t (core : Core.t) =
+  let q = t.percore.(core.Core.id).review in
+  let n = Queue.length q in
+  for _ = 1 to n do
+    let ((obj, objepoch) as entry) = Queue.pop q in
+    if t.global_epoch < objepoch + 2 then Queue.push entry q
+    else begin
+      Lock.acquire core obj.lock;
+      obj.on_review <- false;
+      let count = Cell.read core obj.refcnt in
+      if count <> 0 then begin
+        (match obj.weak with
+        | Some w ->
+            Line.write core w.wline;
+            w.dying <- false
+        | None -> ());
+        Lock.release core obj.lock
+      end
+      else begin
+        (* Zero at review time. Free only if it was zero all epoch (not
+           dirty) and we win the race with tryget on the weak ref. *)
+        let weak_cleared =
+          if obj.dirty then false
+          else
+            match obj.weak with
+            | None -> true
+            | Some w ->
+                Line.write core w.wline;
+                if w.dying then begin
+                  w.target <- None;
+                  w.dying <- false;
+                  true
+                end
+                else false
+        in
+        if weak_cleared then begin
+          obj.freed <- true;
+          Lock.release core obj.lock;
+          obj.free core
+        end
+        else begin
+          queue_for_review t core obj;
+          Lock.release core obj.lock
+        end
+      end
+    end
+  done
+
+let flush t (core : Core.t) =
+  let id = core.Core.id in
+  Core.tick core core.Core.params.Params.op_cost;
+  Array.iter
+    (fun s ->
+      match s.sobj with
+      | Some o when s.delta <> 0 ->
+          evict t core o s.delta;
+          s.delta <- 0
+      | _ -> ())
+    t.percore.(id).slots;
+  if not t.flushed.(id) then begin
+    t.flushed.(id) <- true;
+    t.nflushed <- t.nflushed + 1;
+    if t.nflushed = Array.length t.flushed then begin
+      t.global_epoch <- t.global_epoch + 1;
+      Array.fill t.flushed 0 (Array.length t.flushed) false;
+      t.nflushed <- 0
+    end
+  end;
+  review t core
+
+let create ?(cache_slots = 4096) machine =
+  if not (is_power_of_two cache_slots) then
+    invalid_arg "Refcache.create: cache_slots must be a power of two";
+  let n = Machine.ncores machine in
+  let t =
+    {
+      machine;
+      mask = cache_slots - 1;
+      percore =
+        Array.init n (fun _ ->
+            {
+              slots =
+                Array.init cache_slots (fun _ -> { sobj = None; delta = 0 });
+              review = Queue.create ();
+            });
+      global_epoch = 0;
+      flushed = Array.make n false;
+      nflushed = 0;
+      next_oid = 0;
+    }
+  in
+  Machine.add_maintenance machine
+    ~period:(Machine.params machine).Params.epoch_cycles (fun core ->
+      flush t core);
+  t
+
+let make_obj t (core : Core.t) ~init ~free =
+  if init < 0 then invalid_arg "Refcache.make_obj: negative count";
+  let oid = t.next_oid in
+  t.next_oid <- oid + 1;
+  let obj =
+    {
+      oid;
+      refcnt = Cell.make core init;
+      lock = Lock.create core;
+      dirty = false;
+      on_review = false;
+      freed = false;
+      free;
+      weak = None;
+    }
+  in
+  if init = 0 then begin
+    Lock.acquire core obj.lock;
+    queue_for_review t core obj;
+    Lock.release core obj.lock
+  end;
+  obj
+
+let make_weak_obj t core ~init ~free =
+  let obj = make_obj t core ~init ~free in
+  let w = { target = Some obj; dying = false; wline = Cell.line obj.refcnt } in
+  obj.weak <- Some w;
+  (obj, w)
+
+let tryget t (core : Core.t) w =
+  (* The cmpxchg of Figure 2, with the standard fast path: read the weak
+     reference and only perform the (line-invalidating) atomic write when
+     the dying bit is actually set. Without this, every radix-tree
+     traversal would write a shared line per level and lookups could not
+     scale. *)
+  Line.read core w.wline;
+  match w.target with
+  | None -> None
+  | Some obj ->
+      if w.dying then begin
+        Line.write core w.wline;
+        w.dying <- false
+      end;
+      inc t core obj;
+      Some obj
+
+let is_freed obj = obj.freed
+
+let true_count t obj =
+  let total = ref (Cell.peek obj.refcnt) in
+  Array.iter
+    (fun pc ->
+      Array.iter
+        (fun s ->
+          match s.sobj with
+          | Some o when o == obj -> total := !total + s.delta
+          | _ -> ())
+        pc.slots)
+    t.percore;
+  !total
+
+let epoch t = t.global_epoch
+
+let pending_review t =
+  Array.fold_left (fun acc pc -> acc + Queue.length pc.review) 0 t.percore
+
+let approx_bytes t ~live_objects =
+  let slot_bytes = 16 and obj_bytes = 56 in
+  (Array.length t.percore * (t.mask + 1) * slot_bytes)
+  + (live_objects * obj_bytes)

@@ -1,0 +1,15 @@
+(** {!Refcache} adapted to the common {!Counter_intf.S} interface so the
+    Figure 8 benchmark and the counter test suite can run all schemes
+    through identical code. *)
+
+type t = Refcache.t
+type handle = Refcache.obj
+
+let name = "refcache"
+let create machine = Refcache.create machine
+let make t core ~init ~on_free = Refcache.make_obj t core ~init ~free:on_free
+let inc t core h = Refcache.inc t core h
+let dec t core h = Refcache.dec t core h
+let value t h = Refcache.true_count t h
+
+let bytes_per_object (_ : Ccsim.Params.t) = 56

@@ -1,0 +1,36 @@
+(** A single shared atomic reference count — the conventional scheme and
+    Figure 8's flat baseline. Every inc/dec is a fetch-add on one cache
+    line, so all cores serialize at that line. Zero is detected
+    immediately. *)
+
+open Ccsim
+
+type t = unit
+
+type handle = {
+  cell : int Cell.t;
+  on_free : Core.t -> unit;
+  mutable freed : bool;
+}
+
+let name = "shared"
+let create _machine = ()
+
+let make () core ~init ~on_free =
+  if init < 0 then invalid_arg "Shared_counter.make";
+  { cell = Cell.make core init; on_free; freed = false }
+
+let inc () core h =
+  assert (not h.freed);
+  ignore (Cell.fetch_add core h.cell 1)
+
+let dec () core h =
+  assert (not h.freed);
+  let old = Cell.fetch_add core h.cell (-1) in
+  if old = 1 then begin
+    h.freed <- true;
+    h.on_free core
+  end
+
+let value () h = Cell.peek h.cell
+let bytes_per_object (_ : Params.t) = 8

@@ -1,0 +1,1 @@
+lib/structures/cow_tree.mli: Ccsim

@@ -1,0 +1,1 @@
+lib/structures/rbtree.ml: Ccsim Core Line List Option

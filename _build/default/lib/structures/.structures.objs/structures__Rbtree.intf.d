@@ -1,0 +1,1 @@
+lib/structures/rbtree.mli: Ccsim

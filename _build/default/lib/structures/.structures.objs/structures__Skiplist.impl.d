@@ -1,0 +1,1 @@
+lib/structures/skiplist.ml: Array Ccsim Core Line List Option

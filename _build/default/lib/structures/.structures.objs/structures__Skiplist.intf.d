@@ -1,0 +1,1 @@
+lib/structures/skiplist.mli: Ccsim

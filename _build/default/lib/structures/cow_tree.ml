@@ -1,0 +1,203 @@
+open Ccsim
+
+(* Weight-balanced tree parameters (delta, ratio) = (3, 2): the
+   integer-safe pair proven correct for Haskell's Data.Map. *)
+let delta = 3
+let ratio = 2
+
+type 'v tree =
+  | Leaf
+  | Node of {
+      key : int;
+      value : 'v;
+      left : 'v tree;
+      right : 'v tree;
+      size : int;
+      line : Line.t;
+    }
+
+type 'v t = { root : 'v tree Cell.t }
+
+let create core = { root = Cell.make core Leaf }
+
+let tsize = function Leaf -> 0 | Node n -> n.size
+
+let rd core = function
+  | Leaf -> ()
+  | Node n -> Line.read core n.line
+
+(* Build a node on a fresh line; the construction writes it (it is new, so
+   the write is a core-local fill, no coherence traffic). *)
+let node (core : Core.t) key value left right =
+  let line =
+    Line.create core.Core.params core.Core.stats
+      ~home_socket:core.Core.socket
+  in
+  Line.write core line;
+  Node { key; value; left; right; size = tsize left + tsize right + 1; line }
+
+let single_left core k v l r =
+  match r with
+  | Node { key = rk; value = rv; left = rl; right = rr; _ } ->
+      node core rk rv (node core k v l rl) rr
+  | Leaf -> assert false
+
+let double_left core k v l r =
+  match r with
+  | Node
+      {
+        key = rk;
+        value = rv;
+        left = Node { key = rlk; value = rlv; left = rll; right = rlr; _ };
+        right = rr;
+        _;
+      } ->
+      node core rlk rlv (node core k v l rll) (node core rk rv rlr rr)
+  | _ -> assert false
+
+let single_right core k v l r =
+  match l with
+  | Node { key = lk; value = lv; left = ll; right = lr; _ } ->
+      node core lk lv ll (node core k v lr r)
+  | Leaf -> assert false
+
+let double_right core k v l r =
+  match l with
+  | Node
+      {
+        key = lk;
+        value = lv;
+        left = ll;
+        right = Node { key = lrk; value = lrv; left = lrl; right = lrr; _ };
+        _;
+      } ->
+      node core lrk lrv (node core lk lv ll lrl) (node core k v lrr r)
+  | _ -> assert false
+
+let balance core k v l r =
+  let ls = tsize l and rs = tsize r in
+  if ls + rs <= 1 then node core k v l r
+  else if rs > delta * ls then
+    match r with
+    | Node { left = rl; right = rr; _ } ->
+        if tsize rl < ratio * tsize rr then single_left core k v l r
+        else double_left core k v l r
+    | Leaf -> assert false
+  else if ls > delta * rs then
+    match l with
+    | Node { left = ll; right = lr; _ } ->
+        if tsize lr < ratio * tsize ll then single_right core k v l r
+        else double_right core k v l r
+    | Leaf -> assert false
+  else node core k v l r
+
+let rec insert_tree core key value = function
+  | Leaf -> node core key value Leaf Leaf
+  | Node n as t ->
+      rd core t;
+      if key = n.key then node core key value n.left n.right
+      else if key < n.key then
+        balance core n.key n.value (insert_tree core key value n.left) n.right
+      else
+        balance core n.key n.value n.left (insert_tree core key value n.right)
+
+let rec remove_min core = function
+  | Leaf -> invalid_arg "Cow_tree.remove_min"
+  | Node { key; value; left = Leaf; right; _ } as t ->
+      rd core t;
+      (key, value, right)
+  | Node n as t ->
+      rd core t;
+      let k, v, left' = remove_min core n.left in
+      (k, v, balance core n.key n.value left' n.right)
+
+let glue core l r =
+  match (l, r) with
+  | Leaf, t | t, Leaf -> t
+  | _, _ ->
+      let k, v, r' = remove_min core r in
+      balance core k v l r'
+
+let rec remove_tree core key = function
+  | Leaf -> None
+  | Node n as t ->
+      rd core t;
+      if key = n.key then Some (glue core n.left n.right)
+      else if key < n.key then
+        match remove_tree core key n.left with
+        | None -> None
+        | Some left' -> Some (balance core n.key n.value left' n.right)
+      else
+        match remove_tree core key n.right with
+        | None -> None
+        | Some right' -> Some (balance core n.key n.value n.left right')
+
+let find core t key =
+  let rec go = function
+    | Leaf -> None
+    | Node n as tr ->
+        rd core tr;
+        if key = n.key then Some n.value
+        else if key < n.key then go n.left
+        else go n.right
+  in
+  go (Cell.read core t.root)
+
+let floor core t key =
+  let rec go best = function
+    | Leaf -> best
+    | Node n as tr ->
+        rd core tr;
+        if key = n.key then Some (n.key, n.value)
+        else if key < n.key then go best n.left
+        else go (Some (n.key, n.value)) n.right
+  in
+  go None (Cell.read core t.root)
+
+let ceiling core t key =
+  let rec go best = function
+    | Leaf -> best
+    | Node n as tr ->
+        rd core tr;
+        if key = n.key then Some (n.key, n.value)
+        else if key > n.key then go best n.right
+        else go (Some (n.key, n.value)) n.left
+  in
+  go None (Cell.read core t.root)
+
+let size core t = tsize (Cell.read core t.root)
+
+let insert core t key value =
+  let root = Cell.read core t.root in
+  Cell.write core t.root (insert_tree core key value root)
+
+let remove core t key =
+  let root = Cell.read core t.root in
+  match remove_tree core key root with
+  | None -> false
+  | Some root' ->
+      Cell.write core t.root root';
+      true
+
+let to_alist t =
+  let rec go acc = function
+    | Leaf -> acc
+    | Node n -> go ((n.key, n.value) :: go acc n.right) n.left
+  in
+  go [] (Cell.peek t.root)
+
+let check_invariants t =
+  let fail msg = failwith ("Cow_tree: " ^ msg) in
+  let rec go lo hi = function
+    | Leaf -> 0
+    | Node n ->
+        (match lo with Some l when n.key <= l -> fail "order" | _ -> ());
+        (match hi with Some h when n.key >= h -> fail "order" | _ -> ());
+        let ls = go lo (Some n.key) n.left in
+        let rs = go (Some n.key) hi n.right in
+        if ls + rs + 1 <> n.size then fail "size";
+        if ls + rs > 1 && (ls > delta * rs || rs > delta * ls) then
+          fail "balance";
+        n.size
+  in
+  ignore (go None None (Cell.peek t.root))

@@ -1,0 +1,27 @@
+(** Copy-on-write weight-balanced tree with lock-free lookups — the Bonsai
+    design (Clements et al., ASPLOS 2012) that RadixVM is compared against.
+
+    Writers build a new path of nodes and atomically swing a root pointer;
+    readers traverse whatever root they observe without taking locks. In
+    the cost model this means: lookups touch only immutable node lines
+    (cached after first miss) plus the root pointer's line, so concurrent
+    page faults scale; but updates are serialized by the caller (the Bonsai
+    VM takes a mutex around mmap/munmap) and every update invalidates the
+    root line in all readers. *)
+
+type 'v t
+
+val create : Ccsim.Core.t -> 'v t
+val size : Ccsim.Core.t -> 'v t -> int
+val find : Ccsim.Core.t -> 'v t -> int -> 'v option
+val floor : Ccsim.Core.t -> 'v t -> int -> (int * 'v) option
+val ceiling : Ccsim.Core.t -> 'v t -> int -> (int * 'v) option
+val insert : Ccsim.Core.t -> 'v t -> int -> 'v -> unit
+(** Insert or replace. Caller must serialize writers (the VM's mutex). *)
+
+val remove : Ccsim.Core.t -> 'v t -> int -> bool
+val to_alist : 'v t -> (int * 'v) list
+(** Uncharged, ascending (for tests). *)
+
+val check_invariants : 'v t -> unit
+(** BST order and weight balance. *)

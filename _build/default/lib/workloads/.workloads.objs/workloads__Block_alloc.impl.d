@@ -1,0 +1,1 @@
+lib/workloads/block_alloc.ml: Array Ccsim Vm

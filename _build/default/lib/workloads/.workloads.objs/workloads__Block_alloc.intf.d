@@ -1,0 +1,1 @@
+lib/workloads/block_alloc.mli: Ccsim Vm

@@ -1,0 +1,1 @@
+lib/workloads/counter_bench.ml: Array Ccsim Core Format Machine Params Physmem Refcnt Stats Vm

@@ -1,0 +1,1 @@
+lib/workloads/counter_bench.mli: Format Refcnt

@@ -1,0 +1,1 @@
+lib/workloads/index_bench.ml: Array Ccsim Core Format Machine Params Radix Random Refcnt Stats Structures Sys

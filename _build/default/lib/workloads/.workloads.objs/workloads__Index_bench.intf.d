@@ -1,0 +1,1 @@
+lib/workloads/index_bench.mli: Format

@@ -1,0 +1,1 @@
+lib/workloads/metis.ml: Array Barrier Block_alloc Ccsim Core Format Line List Machine Params Random Stats Vm

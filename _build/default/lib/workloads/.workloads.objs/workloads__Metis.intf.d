@@ -1,0 +1,1 @@
+lib/workloads/metis.mli: Ccsim Format Vm

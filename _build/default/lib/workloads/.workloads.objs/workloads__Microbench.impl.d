@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Array Barrier Ccsim Channel Core Format List Machine Params Random Stats Sys Vm

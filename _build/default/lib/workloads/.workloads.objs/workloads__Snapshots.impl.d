@@ -1,0 +1,1 @@
+lib/workloads/snapshots.ml: Baselines Ccsim Format List Machine Params Random Vm

@@ -1,0 +1,1 @@
+lib/workloads/snapshots.mli: Format

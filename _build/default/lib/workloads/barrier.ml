@@ -1,0 +1,22 @@
+open Ccsim
+
+type t = {
+  parties : int;
+  count : int Cell.t;
+  generation : int Cell.t;
+}
+
+let create core ~parties =
+  if parties <= 0 then invalid_arg "Barrier.create";
+  { parties; count = Cell.make core 0; generation = Cell.make core 0 }
+
+let arrive core t =
+  let gen = Cell.read core t.generation in
+  let arrived = Cell.fetch_add core t.count 1 + 1 in
+  if arrived = t.parties then begin
+    Cell.write core t.count 0;
+    Cell.write core t.generation (gen + 1)
+  end;
+  gen
+
+let passed core t gen = Cell.read core t.generation > gen

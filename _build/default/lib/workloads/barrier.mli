@@ -1,0 +1,18 @@
+(** Sense-reversing barrier for simulated workloads.
+
+    Workload steps cannot block (the scheduler interleaves whole steps), so
+    the barrier is split into a non-blocking [arrive] and a [passed] poll:
+    a step arrives once, then keeps polling (with {!Ccsim.Machine.wait_hint}
+    between steps) until the generation advances. Arrivals and polls charge
+    the barrier's cache line, so barriers themselves cost what they would
+    on real hardware. *)
+
+type t
+
+val create : Ccsim.Core.t -> parties:int -> t
+
+val arrive : Ccsim.Core.t -> t -> int
+(** Register arrival; returns the generation to wait for. *)
+
+val passed : Ccsim.Core.t -> t -> int -> bool
+(** Has the barrier generation moved past the one returned by [arrive]? *)

@@ -1,0 +1,49 @@
+type percore = {
+  base : int;  (* start of this core's address range *)
+  mutable next_block : int;  (* offset, in pages, of the next fresh block *)
+  mutable bump : int;  (* next free page within the current block *)
+  mutable block_end : int;  (* one past the current block *)
+}
+
+module Make (V : Vm.Vm_intf.S) = struct
+  type t = {
+    vm : V.t;
+    unit_pages : int;
+    percore : percore array;
+    mutable blocks : int;
+  }
+
+  (* Each core's arena: 2^24 pages (64 GB) of virtual space, far apart so
+     per-thread pools never share radix leaves or page-table lines. *)
+  let arena_pages = 1 lsl 24
+
+  let create vm ~unit_pages ~ncores =
+    if unit_pages <= 0 then invalid_arg "Block_alloc.create";
+    {
+      vm;
+      unit_pages;
+      percore =
+        Array.init ncores (fun c ->
+            let base = (c + 1) * arena_pages in
+            { base; next_block = 0; bump = 0; block_end = 0 });
+      blocks = 0;
+    }
+
+  let alloc_pages t (core : Ccsim.Core.t) n =
+    if n <= 0 || n > t.unit_pages then invalid_arg "Block_alloc.alloc_pages";
+    let pc = t.percore.(core.Ccsim.Core.id) in
+    if pc.bump + n > pc.block_end then begin
+      (* Map a fresh block; the old block's tail is wasted (bump alloc). *)
+      let vpn = pc.base + pc.next_block in
+      V.mmap t.vm core ~vpn ~npages:t.unit_pages ();
+      t.blocks <- t.blocks + 1;
+      pc.next_block <- pc.next_block + t.unit_pages;
+      pc.bump <- vpn;
+      pc.block_end <- vpn + t.unit_pages
+    end;
+    let vpn = pc.bump in
+    pc.bump <- vpn + n;
+    vpn
+
+  let blocks_mapped t = t.blocks
+end

@@ -1,0 +1,24 @@
+(** The custom memory allocator used for the Metis experiments (section
+    5.1): intentionally trivial so the benchmark measures the VM system
+    rather than allocator cleverness. Memory is mapped in fixed-size blocks
+    (the "allocation unit": 64 KB to stress mmap, 8 MB to stress
+    pagefault), carved with a per-core bump pointer, kept on exclusively
+    per-core state, and never returned to the OS. *)
+
+module Make (V : Vm.Vm_intf.S) : sig
+  type t
+
+  val create :
+    V.t -> unit_pages:int -> ncores:int -> t
+  (** Each core [c] allocates inside its own address range; blocks are
+      [unit_pages] pages. *)
+
+  val alloc_pages : t -> Ccsim.Core.t -> int -> int
+  (** [alloc_pages t core n] returns the first VPN of [n] fresh contiguous
+      pages ([n <= unit_pages]), mapping a new block if needed. Pages are
+      mapped but not yet faulted — first touch pays the page fault, as in
+      the paper. *)
+
+  val blocks_mapped : t -> int
+  (** Number of mmap calls performed (the Metis mmap-count statistic). *)
+end

@@ -1,0 +1,53 @@
+(** The three section-5.3 microbenchmarks — local, pipeline, global —
+    runnable against any VM system (Figure 5) and any MMU configuration
+    (Figure 9).
+
+    - {b local}: each core mmaps a private 4 KB region, writes it, and
+      munmaps it, in a loop — the per-thread memory-pool pattern.
+    - {b pipeline}: each core mmaps a region, writes it, and passes it to
+      the next core, which writes it again and munmaps it — the
+      producer/consumer pattern (each munmap needs exactly one remote
+      shootdown under targeted tracking).
+    - {b global}: each core mmaps a slice of one large shared region
+      (256 KB/core by default, giving the paper's 20 MB region at 80
+      cores), all cores write every page of the whole region in shuffled
+      order, then each core munmaps its slice — the
+      shared-data-structure pattern.
+
+    Results are reported as total page writes per second of simulated time,
+    the paper's Figure 5 metric. *)
+
+type result = {
+  name : string;
+  ncores : int;
+  page_writes : int;
+  cycles : int;  (** simulated duration *)
+  writes_per_sec : float;
+  ipis : int;
+  shootdown_events : int;
+  transfers : int;  (** cache-line transfers during the run *)
+  lock_wait : int;  (** cycles spent waiting on locks *)
+  shootdown_wait : int;  (** cycles senders waited for shootdown acks *)
+  line_stall : int;  (** cycles queued on busy cache lines *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+module Make (V : Vm.Vm_intf.S) : sig
+  val local :
+    ?warmup:int -> ?region_pages:int -> ncores:int -> duration:int ->
+    (Ccsim.Machine.t -> V.t) -> result
+  (** [local ~ncores ~duration make_vm] builds a fresh machine with
+      [ncores] cores and the VM via [make_vm], runs [warmup] cycles
+      (default 4M) to reach steady state — initial radix expansion and the
+      first Refcache epochs are startup effects the paper's steady-state
+      averages exclude — then measures for [duration] cycles. *)
+
+  val pipeline :
+    ?warmup:int -> ?region_pages:int -> ncores:int -> duration:int ->
+    (Ccsim.Machine.t -> V.t) -> result
+
+  val global :
+    ?warmup:int -> ?slice_pages:int -> ncores:int -> duration:int ->
+    (Ccsim.Machine.t -> V.t) -> result
+end

@@ -1,0 +1,124 @@
+open Ccsim
+
+type profile = { name : string; vma_count : int; rss_pages : int; seed : int }
+
+(* VMA counts are the paper's "VMA tree" bytes divided by ~200 bytes per
+   VMA; resident sets are the paper's RSS column. *)
+let firefox = { name = "Firefox"; vma_count = 585; rss_pages = 90_112; seed = 11 }
+let chrome = { name = "Chrome"; vma_count = 620; rss_pages = 38_912; seed = 22 }
+let apache = { name = "Apache"; vma_count = 220; rss_pages = 4_096; seed = 33 }
+let mysql = { name = "MySQL"; vma_count = 90; rss_pages = 21_504; seed = 44 }
+let all = [ firefox; chrome; apache; mysql ]
+
+type row = {
+  profile : profile;
+  rss_bytes : int;
+  linux_vma_bytes : int;
+  linux_pt_bytes : int;
+  radix_bytes : int;
+  ratio : float;
+}
+
+(* Generate a realistic layout: mostly small mappings (libraries' text and
+   data segments, thread stacks), a few large ones (heaps, mapped caches),
+   separated by guard gaps. Returns (start, npages, resident) triples with
+   total resident equal to the profile's RSS. Resident pages are spread
+   across each mapping (stride sampling) rather than packed at the front —
+   real heaps fault scattered pages, which is what makes hardware page
+   tables sparse. *)
+let layout p =
+  let rng = Random.State.make [| p.seed |] in
+  let sizes =
+    List.init p.vma_count (fun _ ->
+        match Random.State.int rng 100 with
+        | n when n < 70 -> 1 + Random.State.int rng 16
+        | n when n < 95 -> 17 + Random.State.int rng 240
+        | _ -> 257 + Random.State.int rng 4096)
+  in
+  let total = List.fold_left ( + ) 0 sizes in
+  (* Applications map far more than they keep resident (lazy heaps, mapped
+     files): target about 3x RSS of mapped space, growing the large
+     mappings if the random layout came up short. *)
+  let target = 3 * p.rss_pages in
+  let sizes =
+    if total >= target then sizes
+    else
+      let deficit = target - total in
+      let boost = (deficit / max 1 (p.vma_count / 10)) + 1 in
+      List.mapi (fun i s -> if i mod 10 = 0 then s + boost else s) sizes
+  in
+  let total = List.fold_left ( + ) 0 sizes in
+  let remaining = ref p.rss_pages in
+  let cursor = ref 4096 in
+  List.map
+    (fun npages ->
+      let start = !cursor in
+      cursor := start + npages + 8 + Random.State.int rng 56;
+      let resident =
+        min !remaining (min npages (npages * p.rss_pages / max 1 total))
+      in
+      remaining := !remaining - resident;
+      (start, npages, resident))
+    sizes
+
+(* Fault [resident] of the mapping's pages, spread by stride sampling. *)
+let iter_resident ~start ~npages ~resident f =
+  if resident >= npages then
+    for vpn = start to start + npages - 1 do
+      f vpn
+    done
+  else if resident > 0 then
+    for i = 0 to resident - 1 do
+      f (start + (i * npages / resident))
+    done
+
+module R = Vm.Radixvm.Default
+
+let measure p =
+  let vmas = layout p in
+  (* Linux representation *)
+  let m_linux = Machine.create (Params.default ~ncores:1 ()) in
+  let linux = Baselines.Linux_vm.create m_linux in
+  let c = Machine.core m_linux 0 in
+  List.iter
+    (fun (start, npages, resident) ->
+      Baselines.Linux_vm.mmap linux c ~vpn:start ~npages ();
+      iter_resident ~start ~npages ~resident (fun vpn ->
+          match Baselines.Linux_vm.touch linux c ~vpn with
+          | Vm.Vm_types.Ok -> ()
+          | Vm.Vm_types.Segfault -> failwith "snapshot: segfault (linux)"))
+    vmas;
+  (* RadixVM representation *)
+  let m_radix = Machine.create (Params.default ~ncores:1 ()) in
+  let radix = R.create m_radix in
+  let c = Machine.core m_radix 0 in
+  List.iter
+    (fun (start, npages, resident) ->
+      R.mmap radix c ~vpn:start ~npages ();
+      iter_resident ~start ~npages ~resident (fun vpn ->
+          match R.touch radix c ~vpn with
+          | Vm.Vm_types.Ok -> ()
+          | Vm.Vm_types.Segfault -> failwith "snapshot: segfault (radix)"))
+    vmas;
+  let linux_vma_bytes = Baselines.Linux_vm.index_bytes linux in
+  let linux_pt_bytes = Baselines.Linux_vm.pt_bytes linux in
+  let radix_bytes = R.index_bytes radix in
+  {
+    profile = p;
+    rss_bytes = p.rss_pages * Vm.Vm_types.page_size;
+    linux_vma_bytes;
+    linux_pt_bytes;
+    radix_bytes;
+    ratio =
+      float_of_int radix_bytes
+      /. float_of_int (linux_vma_bytes + linux_pt_bytes);
+  }
+
+let mb bytes = float_of_int bytes /. (1024. *. 1024.)
+let kb bytes = float_of_int bytes /. 1024.
+
+let pp_row ppf r =
+  Format.fprintf ppf
+    "%-8s RSS %6.0f MB | VMA tree %6.0f KB | page table %8.0f KB | radix %8.0f KB (%.1fx)"
+    r.profile.name (mb r.rss_bytes) (kb r.linux_vma_bytes)
+    (kb r.linux_pt_bytes) (kb r.radix_bytes) r.ratio

@@ -1,0 +1,1 @@
+test/test_ccsim.ml: Alcotest Array Bitset Ccsim Cell Channel Core Hashtbl Ipi Line List Lock Machine Params Physmem Printf QCheck QCheck_alcotest Rwlock Stats Tlb

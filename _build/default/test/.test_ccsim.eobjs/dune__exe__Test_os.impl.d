@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Ccsim Format Gen List Machine Option Os Params Physmem QCheck QCheck_alcotest String Vm

@@ -1,0 +1,1 @@
+test/test_radix.ml: Alcotest Ccsim Core Hashtbl List Machine Params Printf QCheck QCheck_alcotest Radix Refcnt String

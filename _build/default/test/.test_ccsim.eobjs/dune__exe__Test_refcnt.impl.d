@@ -1,0 +1,1 @@
+test/test_refcnt.ml: Alcotest Ccsim List Machine Params Printf QCheck QCheck_alcotest Refcnt Stats String

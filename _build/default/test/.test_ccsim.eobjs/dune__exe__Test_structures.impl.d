@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Ccsim Core Int List Machine Map Params Printf QCheck QCheck_alcotest Stats String Structures

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Baselines Ccsim Core Format Gen Hashtbl List Machine Params Physmem Printf QCheck QCheck_alcotest Random Refcnt Stats String Vm

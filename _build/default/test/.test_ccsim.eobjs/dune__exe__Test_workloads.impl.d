@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Baselines Ccsim Core Machine Params Printf Refcnt Vm Workloads

@@ -1,0 +1,480 @@
+(* Tests for the cache-coherent machine simulator. *)
+
+open Ccsim
+
+let small_params ?(ncores = 8) () = Params.default ~ncores ()
+let machine ?ncores () = Machine.create (small_params ?ncores ())
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 64;
+  Bitset.add b 99;
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal b);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem b 63);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem b 64);
+  Alcotest.(check bool) "not mem 1" false (Bitset.mem b 1);
+  Alcotest.(check (list int)) "elements" [ 0; 63; 64; 99 ] (Bitset.elements b);
+  Bitset.remove b 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem b 63);
+  Alcotest.(check (option int)) "choose" (Some 0) (Bitset.choose b);
+  Bitset.clear b;
+  Alcotest.(check bool) "cleared" true (Bitset.is_empty b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "add oob" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add b 10);
+  Alcotest.check_raises "neg" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Bitset.mem b (-1)))
+
+let test_bitset_union () =
+  let a = Bitset.create 70 and b = Bitset.create 70 in
+  Bitset.add a 1;
+  Bitset.add b 65;
+  Bitset.union_into ~dst:a b;
+  Alcotest.(check (list int)) "union" [ 1; 65 ] (Bitset.elements a)
+
+let bitset_model =
+  QCheck.Test.make ~name:"bitset matches set model" ~count:300
+    QCheck.(list (pair (int_bound 99) bool))
+    (fun ops ->
+      let b = Bitset.create 100 in
+      let m = Hashtbl.create 16 in
+      List.iter
+        (fun (i, add) ->
+          if add then begin
+            Bitset.add b i;
+            Hashtbl.replace m i ()
+          end
+          else begin
+            Bitset.remove b i;
+            Hashtbl.remove m i
+          end)
+        ops;
+      let model = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) m []) in
+      Bitset.elements b = model && Bitset.cardinal b = List.length model)
+
+(* ------------------------------------------------------------------ *)
+(* Cache-line cost model                                               *)
+
+let test_private_line_is_cheap () =
+  let m = machine () in
+  let c = Machine.core m 0 in
+  let cell = Cell.make c 0 in
+  Cell.write c cell 1;
+  (* first access: DRAM *)
+  let t0 = Core.now c in
+  for i = 2 to 100 do
+    Cell.write c cell i
+  done;
+  let per_op = (Core.now c - t0) / 99 in
+  Alcotest.(check int)
+    "private writes cost an L1 hit"
+    (Machine.params m).Params.l1_hit per_op
+
+let test_contended_line_serializes () =
+  let m = machine () in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  let cell = Cell.make a 0 in
+  (* Alternating writers: each write must transfer the line and queue. *)
+  for _ = 1 to 10 do
+    Cell.write a cell 1;
+    Cell.write b cell 2
+  done;
+  let p = Machine.params m in
+  (* Both cores were forced to at least 19 transfers' worth of time. *)
+  let elapsed = max (Core.now a) (Core.now b) in
+  Alcotest.(check bool)
+    "serialized beyond 19 transfers" true
+    (elapsed >= 19 * p.Params.local_transfer);
+  Alcotest.(check bool)
+    "stall cycles recorded" true
+    ((Machine.stats m).Stats.line_stall_cycles > 0)
+
+let test_read_sharing_caches () =
+  let m = machine () in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  let cell = Cell.make a 42 in
+  ignore (Cell.read a cell);
+  ignore (Cell.read b cell);
+  let s = Machine.stats m in
+  let before = Stats.total_transfers s + s.Stats.dram_fills in
+  (* Re-reads by both sharers are now L1 hits. *)
+  ignore (Cell.read a cell);
+  ignore (Cell.read b cell);
+  Alcotest.(check int)
+    "no new transfers" before
+    (Stats.total_transfers s + s.Stats.dram_fills);
+  Alcotest.(check bool) "hits counted" true (s.Stats.l1_hits >= 2)
+
+let test_write_invalidates_sharers () =
+  let m = machine () in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  let cell = Cell.make a 0 in
+  ignore (Cell.read a cell);
+  ignore (Cell.read b cell);
+  Cell.write a cell 7;
+  Alcotest.(check (option int)) "a owns" (Some 0) (Line.holder (Cell.line cell));
+  Alcotest.(check (list int)) "no sharers" [] (Line.sharers (Cell.line cell));
+  (* b must re-fetch. *)
+  let s = Machine.stats m in
+  let before = Stats.total_transfers s in
+  Alcotest.(check int) "b rereads value" 7 (Cell.read b cell);
+  Alcotest.(check bool) "transfer happened" true (Stats.total_transfers s > before)
+
+let test_cas_semantics () =
+  let m = machine () in
+  let a = Machine.core m 0 in
+  let cell = Cell.make a 5 in
+  Alcotest.(check bool) "cas ok" true (Cell.cas a cell ~expect:5 ~update:9);
+  Alcotest.(check bool) "cas fail" false (Cell.cas a cell ~expect:5 ~update:1);
+  Alcotest.(check int) "value" 9 (Cell.peek cell);
+  Alcotest.(check int) "fetch_add returns old" 9 (Cell.fetch_add a cell 3);
+  Alcotest.(check int) "added" 12 (Cell.peek cell)
+
+(* ------------------------------------------------------------------ *)
+(* Locks                                                               *)
+
+let test_lock_serializes () =
+  let m = machine () in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  let lock = Lock.create a in
+  Lock.acquire a lock;
+  Core.tick a 10_000;
+  Lock.release a lock;
+  let release_time = Core.now a in
+  (* b, logically earlier, must wait until a's release. *)
+  Lock.acquire b lock;
+  Alcotest.(check bool) "b waited" true (Core.now b >= release_time);
+  Lock.release b lock;
+  Alcotest.(check bool)
+    "contention counted" true
+    ((Machine.stats m).Stats.lock_contended >= 1)
+
+let test_try_acquire () =
+  let m = machine () in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  let lock = Lock.create a in
+  Lock.acquire a lock;
+  Core.tick a 10_000;
+  Lock.release a lock;
+  Alcotest.(check bool) "b try fails while busy" false (Lock.try_acquire b lock);
+  Core.tick b 20_000;
+  Alcotest.(check bool) "b try succeeds later" true (Lock.try_acquire b lock)
+
+let test_rwlock_readers_concurrent () =
+  let m = machine () in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  let rw = Rwlock.create a in
+  Rwlock.read_acquire a rw;
+  Core.tick a 50_000;
+  (* b can read while a holds the read lock: no wait to a's release. *)
+  Rwlock.read_acquire b rw;
+  Alcotest.(check bool) "no long reader wait" true (Core.now b < 10_000);
+  Rwlock.read_release b rw;
+  Rwlock.read_release a rw;
+  (* but a writer waits for the last reader *)
+  let c = Machine.core m 2 in
+  Rwlock.write_acquire c rw;
+  Alcotest.(check bool) "writer waited for readers" true (Core.now c >= 50_000);
+  Rwlock.write_release c rw
+
+let test_rwlock_writer_blocks_readers () =
+  let m = machine () in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  let rw = Rwlock.create a in
+  Rwlock.write_acquire a rw;
+  Core.tick a 30_000;
+  Rwlock.write_release a rw;
+  Rwlock.read_acquire b rw;
+  Alcotest.(check bool) "reader waited" true (Core.now b >= 30_000);
+  Rwlock.read_release b rw
+
+(* ------------------------------------------------------------------ *)
+(* TLB                                                                 *)
+
+let pfn_of = function Some e -> Some e.Tlb.pfn | None -> None
+
+let test_tlb_basic () =
+  let t = Tlb.create ~capacity:4 in
+  Tlb.insert t ~vpn:1 ~pfn:100 ~writable:true;
+  Tlb.insert t ~vpn:2 ~pfn:200 ~writable:false;
+  Alcotest.(check (option int)) "hit" (Some 100) (pfn_of (Tlb.lookup t 1));
+  Alcotest.(check (option int)) "miss" None (pfn_of (Tlb.lookup t 9));
+  (match Tlb.lookup t 2 with
+  | Some e -> Alcotest.(check bool) "permission kept" false e.Tlb.writable
+  | None -> Alcotest.fail "entry 2 missing");
+  Tlb.invalidate t 1;
+  Alcotest.(check (option int)) "invalidated" None (pfn_of (Tlb.lookup t 1))
+
+let test_tlb_capacity_fifo () =
+  let t = Tlb.create ~capacity:3 in
+  for v = 1 to 3 do
+    Tlb.insert t ~vpn:v ~pfn:v ~writable:true
+  done;
+  Tlb.insert t ~vpn:4 ~pfn:4 ~writable:true;
+  Alcotest.(check int) "bounded" 3 (Tlb.size t);
+  Alcotest.(check (option int)) "oldest evicted" None (pfn_of (Tlb.lookup t 1));
+  Alcotest.(check (option int)) "newest present" (Some 4) (pfn_of (Tlb.lookup t 4))
+
+let test_tlb_range_and_flush () =
+  let t = Tlb.create ~capacity:16 in
+  for v = 0 to 9 do
+    Tlb.insert t ~vpn:v ~pfn:v ~writable:true
+  done;
+  Tlb.invalidate_range t ~lo:3 ~hi:7;
+  Alcotest.(check int) "range removed" 6 (Tlb.size t);
+  Alcotest.(check bool) "3 gone" false (Tlb.mem t 3);
+  Alcotest.(check bool) "7 stays" true (Tlb.mem t 7);
+  Tlb.flush t;
+  Alcotest.(check int) "flushed" 0 (Tlb.size t)
+
+let test_tlb_reinsert_after_evict () =
+  let t = Tlb.create ~capacity:2 in
+  Tlb.insert t ~vpn:1 ~pfn:1 ~writable:true;
+  Tlb.insert t ~vpn:1 ~pfn:5 ~writable:true;
+  Alcotest.(check (option int)) "replaced" (Some 5) (pfn_of (Tlb.lookup t 1));
+  Alcotest.(check int) "no duplicate" 1 (Tlb.size t)
+
+(* ------------------------------------------------------------------ *)
+(* Physical memory                                                     *)
+
+let test_physmem_alloc_free () =
+  let m = machine () in
+  let a = Machine.core m 0 in
+  let pm = Machine.physmem m in
+  let f1 = Physmem.alloc pm a in
+  let f2 = Physmem.alloc pm a in
+  Alcotest.(check bool) "distinct" true (f1 <> f2);
+  Alcotest.(check int) "live" 2 (Physmem.live_frames pm);
+  Physmem.free pm a f1;
+  Alcotest.(check int) "live after free" 1 (Physmem.live_frames pm);
+  let f3 = Physmem.alloc pm a in
+  Alcotest.(check int) "frame recycled" f1 f3
+
+let test_physmem_remote_free_goes_home () =
+  let m = machine () in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  let pm = Machine.physmem m in
+  let f = Physmem.alloc pm a in
+  Physmem.free pm b f;
+  (* Home is core 0: core 0 reallocates it; core 1 gets a fresh frame. *)
+  let fb = Physmem.alloc pm b in
+  Alcotest.(check bool) "b does not reuse a's frame" true (fb <> f);
+  let fa = Physmem.alloc pm a in
+  Alcotest.(check int) "a reuses its frame" f fa
+
+let test_physmem_zero_cost () =
+  let m = machine () in
+  let a = Machine.core m 0 in
+  let t0 = Core.now a in
+  ignore (Physmem.alloc (Machine.physmem m) a);
+  Alcotest.(check bool)
+    "alloc charges zeroing" true
+    (Core.now a - t0 >= (Machine.params m).Params.page_zero)
+
+(* ------------------------------------------------------------------ *)
+(* Machine scheduler                                                   *)
+
+let test_scheduler_runs_in_time_order () =
+  let m = machine ~ncores:4 () in
+  let order = ref [] in
+  for i = 0 to 3 do
+    let core = Machine.core m i in
+    (* Different step costs: completion times interleave. *)
+    let remaining = ref 3 in
+    Machine.set_workload m i (fun () ->
+        order := (i, Core.now core) :: !order;
+        Core.tick core ((i + 1) * 100);
+        decr remaining;
+        !remaining > 0)
+  done;
+  Machine.run m;
+  let times = List.rev_map snd !order in
+  (* The scheduler picked the min-clock core each time, so observation
+     times are non-decreasing. *)
+  let sorted = List.sort compare times in
+  Alcotest.(check (list int)) "time ordered" sorted times
+
+let test_run_for_horizon () =
+  let m = machine ~ncores:2 () in
+  let iters = ref 0 in
+  for i = 0 to 1 do
+    let core = Machine.core m i in
+    Machine.set_workload m i (fun () ->
+        incr iters;
+        Core.tick core 1000;
+        true)
+  done;
+  Machine.run_for m ~cycles:100_000;
+  Alcotest.(check bool) "ran about 200 iters" true (!iters >= 190 && !iters <= 210)
+
+let test_maintenance_fires_per_core () =
+  let m = machine ~ncores:3 () in
+  let fired = Array.make 3 0 in
+  Machine.add_maintenance m ~period:10_000 (fun core ->
+      fired.(core.Core.id) <- fired.(core.Core.id) + 1);
+  for i = 0 to 2 do
+    let core = Machine.core m i in
+    Machine.set_workload m i (fun () ->
+        Core.tick core 500;
+        Core.now core < 100_000)
+  done;
+  Machine.run m;
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "core %d fired ~10 times" i)
+        true
+        (n >= 9 && n <= 11))
+    fired
+
+let test_drain_advances_maintenance () =
+  let m = machine ~ncores:2 () in
+  let fired = ref 0 in
+  Machine.add_maintenance m ~period:5_000 (fun _ -> incr fired);
+  Machine.drain m ~cycles:50_000;
+  (* 2 cores x 10 periods *)
+  Alcotest.(check bool) "about 20 firings" true (!fired >= 18 && !fired <= 22)
+
+(* ------------------------------------------------------------------ *)
+(* IPIs                                                                *)
+
+let test_ipi_waits_for_acks () =
+  let m = machine () in
+  let a = Machine.core m 0 in
+  let p = Machine.params m in
+  Ipi.multicast m a ~targets:[ 1; 2; 3 ];
+  Alcotest.(check bool)
+    "sender waited for handler acks" true
+    (Core.now a >= p.Params.ipi_deliver + p.Params.ipi_handler);
+  Alcotest.(check int) "3 ipis" 3 (Machine.stats m).Stats.ipis;
+  (* Targets carry pending handler costs. *)
+  Alcotest.(check int)
+    "target charged"
+    p.Params.ipi_handler
+    (Machine.core m 1).Core.pending_intr
+
+let test_ipi_channel_serializes_senders () =
+  let m = machine () in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  Ipi.multicast m a ~targets:[ 2 ];
+  Ipi.multicast m b ~targets:[ 3 ];
+  let p = Machine.params m in
+  (* b's send queued behind a's interconnect occupancy, then paid its own
+     full send + delivery + handler-ack wait. *)
+  Alcotest.(check bool)
+    "second sender delayed" true
+    (Core.now b
+    >= p.Params.ipi_channel + p.Params.ipi_send + p.Params.ipi_deliver
+       + p.Params.ipi_handler)
+
+let test_ipi_sender_serial_per_target () =
+  let m = machine () in
+  let a = Machine.core m 0 in
+  let p = Machine.params m in
+  (* Broadcast to 6 targets: the sender's APIC protocol is serial per
+     target, so the sender is busy at least 6 * ipi_send cycles. *)
+  Ipi.multicast m a ~targets:[ 1; 2; 3; 4; 5; 6 ];
+  Alcotest.(check bool)
+    "sender serial cost" true
+    (Core.now a >= 6 * p.Params.ipi_send)
+
+let test_ipi_self_skip () =
+  let m = machine () in
+  let a = Machine.core m 0 in
+  Ipi.multicast m a ~targets:[ 0 ];
+  Alcotest.(check int) "no self ipi" 0 (Machine.stats m).Stats.ipis
+
+(* ------------------------------------------------------------------ *)
+(* Channels                                                            *)
+
+let test_channel_delivery_time () =
+  let m = machine () in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  let ch = Channel.create a in
+  Core.tick a 5_000;
+  Channel.send a ch 42;
+  (* b is logically at time ~0, but the queue's cache line is busy until
+     the send completes: b's receive stalls past the send time. *)
+  Alcotest.(check (option int)) "delivered" (Some 42) (Channel.recv b ch);
+  Alcotest.(check bool) "receive not before send" true (Core.now b >= 5_000);
+  Alcotest.(check (option int)) "drained" None (Channel.recv b ch)
+
+let test_channel_fifo () =
+  let m = machine () in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  let ch = Channel.create a in
+  Channel.send a ch 1;
+  Channel.send a ch 2;
+  Core.tick b 1_000;
+  Alcotest.(check (option int)) "first" (Some 1) (Channel.recv b ch);
+  Alcotest.(check (option int)) "second" (Some 2) (Channel.recv b ch)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "ccsim"
+    [
+      ( "bitset",
+        [
+          tc "basic" `Quick test_bitset_basic;
+          tc "bounds" `Quick test_bitset_bounds;
+          tc "union" `Quick test_bitset_union;
+          QCheck_alcotest.to_alcotest bitset_model;
+        ] );
+      ( "line",
+        [
+          tc "private line cheap" `Quick test_private_line_is_cheap;
+          tc "contended line serializes" `Quick test_contended_line_serializes;
+          tc "read sharing caches" `Quick test_read_sharing_caches;
+          tc "write invalidates" `Quick test_write_invalidates_sharers;
+          tc "cas semantics" `Quick test_cas_semantics;
+        ] );
+      ( "lock",
+        [
+          tc "serializes" `Quick test_lock_serializes;
+          tc "try acquire" `Quick test_try_acquire;
+          tc "rwlock readers" `Quick test_rwlock_readers_concurrent;
+          tc "rwlock writer" `Quick test_rwlock_writer_blocks_readers;
+        ] );
+      ( "tlb",
+        [
+          tc "basic" `Quick test_tlb_basic;
+          tc "capacity fifo" `Quick test_tlb_capacity_fifo;
+          tc "range and flush" `Quick test_tlb_range_and_flush;
+          tc "reinsert" `Quick test_tlb_reinsert_after_evict;
+        ] );
+      ( "physmem",
+        [
+          tc "alloc free" `Quick test_physmem_alloc_free;
+          tc "remote free home" `Quick test_physmem_remote_free_goes_home;
+          tc "zero cost" `Quick test_physmem_zero_cost;
+        ] );
+      ( "machine",
+        [
+          tc "time order" `Quick test_scheduler_runs_in_time_order;
+          tc "run_for horizon" `Quick test_run_for_horizon;
+          tc "maintenance" `Quick test_maintenance_fires_per_core;
+          tc "drain" `Quick test_drain_advances_maintenance;
+        ] );
+      ( "ipi",
+        [
+          tc "waits for acks" `Quick test_ipi_waits_for_acks;
+          tc "channel serializes" `Quick test_ipi_channel_serializes_senders;
+          tc "sender serial" `Quick test_ipi_sender_serial_per_target;
+          tc "self skip" `Quick test_ipi_self_skip;
+        ] );
+      ( "channel",
+        [
+          tc "delivery time" `Quick test_channel_delivery_time;
+          tc "fifo" `Quick test_channel_fifo;
+        ] );
+    ]

@@ -1,0 +1,302 @@
+(* Tests for the OS personality: processes, fork/exec/exit/wait, sbrk,
+   validated VM syscalls, and whole-system frame accounting across process
+   lifetimes. *)
+
+open Ccsim
+module K = Os.Kernel
+module R = Vm.Radixvm.Default
+
+let epoch = 10_000
+
+let boot ?(ncores = 4) () =
+  let m = Machine.create (Params.default ~ncores ~epoch_cycles:epoch ()) in
+  (m, K.boot m)
+
+let drain m n = Machine.drain m ~cycles:(n * epoch)
+let live m = Physmem.live_frames (Machine.physmem m)
+
+let ok_t = Alcotest.testable (fun ppf _ -> Format.pp_print_string ppf "_") ( = )
+
+let check_ok name = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected %s" name (K.errno_to_string e)
+
+let result_t =
+  Alcotest.testable
+    (fun ppf -> function
+      | Vm.Vm_types.Ok -> Format.pp_print_string ppf "Ok"
+      | Vm.Vm_types.Segfault -> Format.pp_print_string ppf "Segfault")
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+
+let test_boot () =
+  let _m, k = boot () in
+  let init = K.init_process k in
+  Alcotest.(check int) "init pid" 1 (K.pid init);
+  Alcotest.(check bool) "alive" true (K.alive init);
+  Alcotest.(check int) "one process" 1 (K.process_count k)
+
+let test_fork_tree_and_wait () =
+  let m, k = boot () in
+  let c = Machine.core m 0 in
+  let init = K.init_process k in
+  let a = check_ok "fork a" (K.sys_fork k c init) in
+  let b = check_ok "fork b" (K.sys_fork k c init) in
+  Alcotest.(check bool) "distinct pids" true (K.pid a <> K.pid b);
+  Alcotest.(check int) "parents" 1 (K.parent_pid a);
+  Alcotest.(check int) "three processes" 3 (K.process_count k);
+  (* no zombie children yet *)
+  Alcotest.(check bool) "wait blocks (ECHILD)" true
+    (K.sys_wait k init = Error K.ECHILD);
+  K.sys_exit k c a ~code:7;
+  Alcotest.(check bool) "zombie not alive" false (K.alive a);
+  let zpid, code = check_ok "wait" (K.sys_wait k init) in
+  Alcotest.(check int) "reaped pid" (K.pid a) zpid;
+  Alcotest.(check int) "exit code" 7 code;
+  Alcotest.(check int) "reaped from table" 2 (K.process_count k);
+  ignore b
+
+let test_orphans_reparent_to_init () =
+  let m, k = boot () in
+  let c = Machine.core m 0 in
+  let init = K.init_process k in
+  let parent = check_ok "fork" (K.sys_fork k c init) in
+  let orphan = check_ok "fork2" (K.sys_fork k c parent) in
+  K.sys_exit k c parent ~code:0;
+  Alcotest.(check int) "orphan reparented" 1 (K.parent_pid orphan);
+  K.sys_exit k c orphan ~code:3;
+  (* init reaps both *)
+  ignore (check_ok "reap 1" (K.sys_wait k init));
+  ignore (check_ok "reap 2" (K.sys_wait k init));
+  Alcotest.(check int) "only init left" 1 (K.process_count k)
+
+let test_sbrk_heap () =
+  let m, k = boot () in
+  let c = Machine.core m 0 in
+  let p = check_ok "fork" (K.sys_fork k c (K.init_process k)) in
+  let old = check_ok "grow" (K.sys_sbrk k c p ~pages:4) in
+  Alcotest.(check int) "old break" K.heap_base old;
+  Alcotest.(check int) "new break" (K.heap_base + 4) (K.brk p);
+  (* the heap is usable memory *)
+  Alcotest.check result_t "store on heap" Vm.Vm_types.Ok
+    (K.store k c p ~vpn:K.heap_base 42);
+  Alcotest.(check (option int)) "load back" (Some 42)
+    (K.load k c p ~vpn:K.heap_base);
+  (* beyond the break is unmapped *)
+  Alcotest.check result_t "beyond break faults" Vm.Vm_types.Segfault
+    (K.store k c p ~vpn:(K.heap_base + 4) 1);
+  (* shrink releases the pages *)
+  ignore (check_ok "shrink" (K.sys_sbrk k c p ~pages:(-4)));
+  Alcotest.check result_t "released" Vm.Vm_types.Segfault
+    (K.store k c p ~vpn:K.heap_base 1);
+  (* invalid shrinks are rejected *)
+  Alcotest.(check bool) "below heap base rejected" true
+    (K.sys_sbrk k c p ~pages:(-1) = Error K.EINVAL)
+
+let test_exec_layout () =
+  let m, k = boot () in
+  let c = Machine.core m 0 in
+  let p = check_ok "fork" (K.sys_fork k c (K.init_process k)) in
+  ignore (K.sys_sbrk k c p ~pages:8);
+  ignore (K.store k c p ~vpn:K.heap_base 99);
+  let _fd = Os.Vfs.create_file (K.vfs k) ~name:"app" ~pages:4 in
+  check_ok "exec" (K.sys_exec k c p ~path:"app");
+  (* old heap is gone *)
+  Alcotest.(check int) "break reset" K.heap_base (K.brk p);
+  Alcotest.check result_t "old heap unmapped" Vm.Vm_types.Segfault
+    (K.store k c p ~vpn:K.heap_base 1);
+  (* text is mapped read-only from the file *)
+  Alcotest.(check (option int)) "text readable"
+    (Some (Vm.Page_cache.file_content ~file:3 ~page:K.text_base))
+    (K.load k c p ~vpn:K.text_base);
+  Alcotest.check result_t "text not writable" Vm.Vm_types.Segfault
+    (K.store k c p ~vpn:K.text_base 1);
+  (* the stack works *)
+  Alcotest.check result_t "stack writable" Vm.Vm_types.Ok
+    (K.store k c p ~vpn:K.stack_base 5);
+  (* exec of a missing file fails cleanly *)
+  Alcotest.(check bool) "ENOENT" true
+    (K.sys_exec k c p ~path:"nope" = Error K.ENOENT)
+
+let test_exec_shares_text_between_processes () =
+  let m, k = boot () in
+  let c = Machine.core m 0 in
+  let init = K.init_process k in
+  let _fd = Os.Vfs.create_file (K.vfs k) ~name:"app" ~pages:4 in
+  let p1 = check_ok "fork1" (K.sys_fork k c init) in
+  let p2 = check_ok "fork2" (K.sys_fork k c init) in
+  check_ok "exec1" (K.sys_exec k c p1 ~path:"app");
+  check_ok "exec2" (K.sys_exec k c p2 ~path:"app");
+  let before = live m in
+  ignore (K.load k c p1 ~vpn:K.text_base);
+  Alcotest.(check int) "first text fault loads" (before + 1) (live m);
+  ignore (K.load k c p2 ~vpn:K.text_base);
+  Alcotest.(check int) "second process shares the cached text page"
+    (before + 1) (live m)
+
+let test_fork_cow_through_syscalls () =
+  let m, k = boot () in
+  let c = Machine.core m 0 in
+  let p = check_ok "fork" (K.sys_fork k c (K.init_process k)) in
+  ignore (K.sys_sbrk k c p ~pages:2);
+  ignore (K.store k c p ~vpn:K.heap_base 10);
+  let child = check_ok "fork child" (K.sys_fork k c p) in
+  Alcotest.(check int) "child inherits break" (K.brk p) (K.brk child);
+  Alcotest.(check (option int)) "child sees data" (Some 10)
+    (K.load k c child ~vpn:K.heap_base);
+  ignore (K.store k c child ~vpn:K.heap_base 20);
+  Alcotest.(check (option int)) "parent isolated" (Some 10)
+    (K.load k c p ~vpn:K.heap_base);
+  Alcotest.(check (option int)) "child sees its write" (Some 20)
+    (K.load k c child ~vpn:K.heap_base)
+
+let test_all_frames_reclaimed_at_exit () =
+  let m, k = boot () in
+  let c = Machine.core m 0 in
+  let init = K.init_process k in
+  let baseline = live m in
+  let p = check_ok "fork" (K.sys_fork k c init) in
+  ignore (K.sys_sbrk k c p ~pages:16);
+  for i = 0 to 15 do
+    ignore (K.store k c p ~vpn:(K.heap_base + i) i)
+  done;
+  let q = check_ok "fork q" (K.sys_fork k c p) in
+  for i = 0 to 7 do
+    ignore (K.store k c q ~vpn:(K.heap_base + i) (100 + i))
+  done;
+  K.sys_exit k c q ~code:0;
+  K.sys_exit k c p ~code:0;
+  ignore (K.sys_wait k init);
+  drain m 8;
+  Alcotest.(check int) "everything reclaimed" baseline (live m)
+
+let test_syscall_validation () =
+  let m, k = boot () in
+  let c = Machine.core m 0 in
+  let p = check_ok "fork" (K.sys_fork k c (K.init_process k)) in
+  let space = R.address_space_pages (K.vm p) in
+  Alcotest.(check bool) "mmap beyond space" true
+    (K.sys_mmap k c p ~vpn:(space - 1) ~npages:2 () = Error K.EINVAL);
+  Alcotest.(check bool) "munmap zero pages" true
+    (K.sys_munmap k c p ~vpn:0 ~npages:0 = Error K.EINVAL);
+  Alcotest.(check bool) "mmap bad fd" true
+    (K.sys_mmap k c p ~vpn:0 ~npages:1 ~file:99 () = Error K.EINVAL);
+  let fd = Os.Vfs.create_file (K.vfs k) ~name:"f" ~pages:2 in
+  Alcotest.(check bool) "file mapping beyond EOF" true
+    (K.sys_mmap k c p ~vpn:0 ~npages:3 ~file:fd () = Error K.EINVAL);
+  Alcotest.(check ok_t) "valid file mapping" (Ok ())
+    (K.sys_mmap k c p ~vpn:0 ~npages:2 ~file:fd ());
+  (* syscalls on a dead process *)
+  K.sys_exit k c p ~code:0;
+  Alcotest.(check bool) "fork dead process" true
+    (match K.sys_fork k c p with Error K.ESRCH -> true | _ -> false);
+  Alcotest.(check bool) "sbrk dead process" true
+    (K.sys_sbrk k c p ~pages:1 = Error K.ESRCH);
+  Alcotest.check result_t "store dead process" Vm.Vm_types.Segfault
+    (K.store k c p ~vpn:0 1)
+
+let test_mprotect_via_syscall () =
+  let m, k = boot () in
+  let c = Machine.core m 0 in
+  let p = check_ok "fork" (K.sys_fork k c (K.init_process k)) in
+  ignore (check_ok "mmap" (K.sys_mmap k c p ~vpn:0 ~npages:4 ()));
+  ignore (K.store k c p ~vpn:1 5);
+  ignore
+    (check_ok "mprotect"
+       (K.sys_mprotect k c p ~vpn:0 ~npages:4 Vm.Vm_types.Read_only));
+  Alcotest.check result_t "write refused" Vm.Vm_types.Segfault
+    (K.store k c p ~vpn:1 6);
+  Alcotest.(check (option int)) "data intact and readable" (Some 5)
+    (K.load k c p ~vpn:1)
+
+let process_lifecycle_property =
+  QCheck.Test.make ~name:"random process lifecycles leak no frames" ~count:40
+    QCheck.(
+      make
+        ~print:(fun ops ->
+          String.concat ";"
+            (List.map
+               (fun op ->
+                 match op with
+                 | 0 -> "fork"
+                 | 1 -> "exit"
+                 | 2 -> "sbrk+"
+                 | 3 -> "touch"
+                 | _ -> "wait")
+               ops))
+        Gen.(list_size (int_range 1 60) (int_bound 4)))
+    (fun ops ->
+      let m, k = boot () in
+      let c = Machine.core m 0 in
+      let init = K.init_process k in
+      let baseline = live m in
+      let procs = ref [] in
+      let pick () =
+        match !procs with
+        | [] -> None
+        | l -> Some (List.nth l (List.length l / 2))
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+              let parent = Option.value (pick ()) ~default:init in
+              if K.alive parent then
+                (match K.sys_fork k c parent with
+                | Ok child -> procs := child :: !procs
+                | Error _ -> ())
+          | 1 -> (
+              match pick () with
+              | Some p when K.alive p -> K.sys_exit k c p ~code:0
+              | _ -> ())
+          | 2 -> (
+              match pick () with
+              | Some p when K.alive p -> ignore (K.sys_sbrk k c p ~pages:2)
+              | _ -> ())
+          | 3 -> (
+              match pick () with
+              | Some p when K.alive p && K.brk p > K.heap_base ->
+                  ignore (K.store k c p ~vpn:K.heap_base 1)
+              | _ -> ())
+          | _ ->
+              ignore (K.sys_wait k init);
+              (match pick () with
+              | Some p -> ignore (K.sys_wait k p)
+              | None -> ()))
+        ops;
+      (* everyone exits; init reaps what it can *)
+      List.iter (fun p -> if K.alive p then K.sys_exit k c p ~code:0) !procs;
+      let rec reap () =
+        match K.sys_wait k init with Ok _ -> reap () | Error _ -> ()
+      in
+      reap ();
+      drain m 10;
+      live m = baseline)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "os"
+    [
+      ( "processes",
+        [
+          tc "boot" `Quick test_boot;
+          tc "fork tree and wait" `Quick test_fork_tree_and_wait;
+          tc "orphans reparent" `Quick test_orphans_reparent_to_init;
+          tc "sbrk heap" `Quick test_sbrk_heap;
+        ] );
+      ( "exec",
+        [
+          tc "layout" `Quick test_exec_layout;
+          tc "text shared between processes" `Quick
+            test_exec_shares_text_between_processes;
+        ] );
+      ( "memory",
+        [
+          tc "fork cow via syscalls" `Quick test_fork_cow_through_syscalls;
+          tc "frames reclaimed at exit" `Quick test_all_frames_reclaimed_at_exit;
+          tc "mprotect" `Quick test_mprotect_via_syscall;
+        ] );
+      ("validation", [ tc "errno paths" `Quick test_syscall_validation ]);
+      ("property", [ QCheck_alcotest.to_alcotest process_lifecycle_property ]);
+    ]

@@ -1,0 +1,350 @@
+(* Tests for Refcache (Figure 2) and the rival counting schemes. *)
+
+open Ccsim
+module Refcache = Refcnt.Refcache
+
+let epoch = 10_000
+
+let machine ?(ncores = 4) () =
+  Machine.create (Params.default ~ncores ~epoch_cycles:epoch ())
+
+let drain_epochs m n = Machine.drain m ~cycles:(n * epoch)
+
+(* ------------------------------------------------------------------ *)
+(* Refcache basics                                                     *)
+
+let test_free_after_zero () =
+  let m = machine () in
+  let rc = Refcache.create m in
+  let c0 = Machine.core m 0 in
+  let freed = ref 0 in
+  let obj = Refcache.make_obj rc c0 ~init:1 ~free:(fun _ -> incr freed) in
+  Refcache.dec rc c0 obj;
+  Alcotest.(check int) "true count zero" 0 (Refcache.true_count rc obj);
+  Alcotest.(check int) "not freed yet" 0 !freed;
+  drain_epochs m 5;
+  Alcotest.(check int) "freed exactly once" 1 !freed;
+  Alcotest.(check bool) "marked freed" true (Refcache.is_freed obj)
+
+let test_not_freed_while_referenced () =
+  let m = machine () in
+  let rc = Refcache.create m in
+  let c0 = Machine.core m 0 in
+  let freed = ref 0 in
+  let obj = Refcache.make_obj rc c0 ~init:2 ~free:(fun _ -> incr freed) in
+  Refcache.dec rc c0 obj;
+  drain_epochs m 5;
+  Alcotest.(check int) "still alive" 0 !freed;
+  Alcotest.(check int) "count one" 1 (Refcache.true_count rc obj);
+  Refcache.dec rc c0 obj;
+  drain_epochs m 5;
+  Alcotest.(check int) "now freed" 1 !freed
+
+let test_batching_no_global_writes () =
+  let m = machine () in
+  let rc = Refcache.create m in
+  let c0 = Machine.core m 0 in
+  let obj = Refcache.make_obj rc c0 ~init:1 ~free:(fun _ -> ()) in
+  let s = Machine.stats m in
+  let transfers_before = Stats.total_transfers s + s.Stats.dram_fills in
+  (* Paired inc/dec on one core: pure delta-cache traffic, cancels before
+     any flush; the global count line is never touched. *)
+  for _ = 1 to 1_000 do
+    Refcache.inc rc c0 obj;
+    Refcache.dec rc c0 obj
+  done;
+  Alcotest.(check int)
+    "no cache-line movement" transfers_before
+    (Stats.total_transfers s + s.Stats.dram_fills);
+  Alcotest.(check int) "count intact" 1 (Refcache.true_count rc obj)
+
+let test_reordered_flush_no_false_free () =
+  (* Epoch-2 scenario from Figure 1: core 0's decrement flushes before
+     core 1's increment, so the global count transiently reads zero even
+     though the true count is 1. The object must survive. *)
+  let m = machine () in
+  let rc = Refcache.create m in
+  let c0 = Machine.core m 0 and c1 = Machine.core m 1 in
+  let freed = ref 0 in
+  let obj = Refcache.make_obj rc c0 ~init:1 ~free:(fun _ -> incr freed) in
+  Refcache.inc rc c1 obj;
+  Refcache.dec rc c0 obj;
+  Alcotest.(check int) "true count one" 1 (Refcache.true_count rc obj);
+  drain_epochs m 6;
+  Alcotest.(check int) "survived reordered flushes" 0 !freed;
+  Alcotest.(check int) "count still one" 1 (Refcache.true_count rc obj)
+
+let test_dirty_zero_delays_but_frees () =
+  (* Drive the count 0 -> 1 -> 0 across epochs so a dirty zero occurs;
+     the object must still be freed in the end, exactly once. *)
+  let m = machine () in
+  let rc = Refcache.create m in
+  let c0 = Machine.core m 0 and c1 = Machine.core m 1 in
+  let freed = ref 0 in
+  let obj = Refcache.make_obj rc c0 ~init:1 ~free:(fun _ -> incr freed) in
+  Refcache.dec rc c0 obj;
+  drain_epochs m 1;
+  (* It is now on a review queue with a zero global count. Revive and
+     re-kill it from another core, with a flush in between so the global
+     count actually leaves and returns to zero (a dirty zero). *)
+  Refcache.inc rc c1 obj;
+  drain_epochs m 1;
+  Alcotest.(check int) "alive mid-revival" 0 !freed;
+  Refcache.dec rc c1 obj;
+  drain_epochs m 8;
+  Alcotest.(check int) "freed exactly once" 1 !freed
+
+(* ------------------------------------------------------------------ *)
+(* Weak references                                                     *)
+
+let test_tryget_revives () =
+  let m = machine () in
+  let rc = Refcache.create m in
+  let c0 = Machine.core m 0 and c1 = Machine.core m 1 in
+  let freed = ref 0 in
+  let obj, weak =
+    Refcache.make_weak_obj rc c0 ~init:1 ~free:(fun _ -> incr freed)
+  in
+  Refcache.dec rc c0 obj;
+  drain_epochs m 1;
+  (* On a review queue, dying. Revive it. *)
+  (match Refcache.tryget rc c1 weak with
+  | Some o -> Alcotest.(check bool) "same object" true (o == obj)
+  | None -> Alcotest.fail "tryget failed before free");
+  drain_epochs m 6;
+  Alcotest.(check int) "revived object not freed" 0 !freed;
+  Alcotest.(check int) "count one" 1 (Refcache.true_count rc obj);
+  (* Drop the revived reference: now it must die. *)
+  Refcache.dec rc c1 obj;
+  drain_epochs m 6;
+  Alcotest.(check int) "freed after final dec" 1 !freed
+
+let test_tryget_after_free () =
+  let m = machine () in
+  let rc = Refcache.create m in
+  let c0 = Machine.core m 0 in
+  let obj, weak = Refcache.make_weak_obj rc c0 ~init:1 ~free:(fun _ -> ()) in
+  Refcache.dec rc c0 obj;
+  drain_epochs m 5;
+  Alcotest.(check bool) "freed" true (Refcache.is_freed obj);
+  Alcotest.(check bool) "tryget fails" true
+    (Refcache.tryget rc c0 weak = None)
+
+let test_zero_init_object_reviewed () =
+  let m = machine () in
+  let rc = Refcache.create m in
+  let c0 = Machine.core m 0 in
+  let freed = ref 0 in
+  let _obj = Refcache.make_obj rc c0 ~init:0 ~free:(fun _ -> incr freed) in
+  Alcotest.(check bool) "queued" true (Refcache.pending_review rc > 0);
+  drain_epochs m 5;
+  Alcotest.(check int) "freed" 1 !freed
+
+let test_zero_init_revived_by_inc () =
+  let m = machine () in
+  let rc = Refcache.create m in
+  let c0 = Machine.core m 0 in
+  let freed = ref 0 in
+  let obj = Refcache.make_obj rc c0 ~init:0 ~free:(fun _ -> incr freed) in
+  Refcache.inc rc c0 obj;
+  drain_epochs m 6;
+  Alcotest.(check int) "revived by early inc" 0 !freed;
+  Refcache.dec rc c0 obj;
+  drain_epochs m 6;
+  Alcotest.(check int) "then freed" 1 !freed
+
+(* ------------------------------------------------------------------ *)
+(* Refcache property test                                              *)
+
+type rc_op = Inc of int | Dec of int | Settle
+
+let rc_op_gen ncores =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun c -> Inc c) (int_bound (ncores - 1)));
+        (4, map (fun c -> Dec c) (int_bound (ncores - 1)));
+        (1, return Settle);
+      ])
+
+let rc_op_print = function
+  | Inc c -> Printf.sprintf "inc@%d" c
+  | Dec c -> Printf.sprintf "dec@%d" c
+  | Settle -> "settle"
+
+let refcache_linearizable =
+  let ncores = 4 in
+  QCheck.Test.make ~name:"refcache frees iff true count stays zero" ~count:60
+    QCheck.(make ~print:(fun l -> String.concat "," (List.map rc_op_print l))
+              (QCheck.Gen.list_size (QCheck.Gen.int_range 1 60) (rc_op_gen ncores)))
+    (fun ops ->
+      let m = machine ~ncores () in
+      let rc = Refcache.create m in
+      let c0 = Machine.core m 0 in
+      let freed = ref 0 in
+      let obj = Refcache.make_obj rc c0 ~init:1 ~free:(fun _ -> incr freed) in
+      let oracle = ref 1 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if !oracle > 0 then
+            match op with
+            | Inc c ->
+                Refcache.inc rc (Machine.core m c) obj;
+                incr oracle
+            | Dec c when !oracle > 1 ->
+                Refcache.dec rc (Machine.core m c) obj;
+                decr oracle
+            | Dec _ -> ()
+            | Settle ->
+                drain_epochs m 3;
+                (* alive references outstanding: must not be freed *)
+                if !freed > 0 then ok := false)
+        ops;
+      if not !ok then false
+      else begin
+        (* Release every outstanding reference and settle. *)
+        while !oracle > 0 do
+          Refcache.dec rc c0 obj;
+          decr oracle
+        done;
+        drain_epochs m 8;
+        !freed = 1 && Refcache.is_freed obj
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Counter schemes through the common interface                        *)
+
+module Counter_suite (C : Refcnt.Counter_intf.S) = struct
+  (* [deferred] distinguishes Refcache (zero detected epochs later) from
+     the immediate schemes. *)
+  let tests ~deferred =
+    let settle m = if deferred then drain_epochs m 5 in
+    let test_value_tracking () =
+      let m = machine () in
+      let sub = C.create m in
+      let h =
+        C.make sub (Machine.core m 0) ~init:3 ~on_free:(fun _ -> ())
+      in
+      C.inc sub (Machine.core m 1) h;
+      C.inc sub (Machine.core m 2) h;
+      C.dec sub (Machine.core m 1) h;
+      settle m;
+      Alcotest.(check int) "value" 4 (C.value sub h)
+    in
+    let test_free_on_zero () =
+      let m = machine () in
+      let sub = C.create m in
+      let freed = ref 0 in
+      let h =
+        C.make sub (Machine.core m 0) ~init:2 ~on_free:(fun _ -> incr freed)
+      in
+      C.dec sub (Machine.core m 1) h;
+      settle m;
+      Alcotest.(check int) "alive at one" 0 !freed;
+      C.dec sub (Machine.core m 2) h;
+      settle m;
+      Alcotest.(check int) "freed once at zero" 1 !freed
+    in
+    let test_many_cores () =
+      let m = machine ~ncores:8 () in
+      let sub = C.create m in
+      let freed = ref 0 in
+      let h =
+        C.make sub (Machine.core m 0) ~init:1 ~on_free:(fun _ -> incr freed)
+      in
+      for c = 0 to 7 do
+        C.inc sub (Machine.core m c) h
+      done;
+      for c = 0 to 7 do
+        C.dec sub (Machine.core m c) h
+      done;
+      settle m;
+      Alcotest.(check int) "survives balanced traffic" 0 !freed;
+      Alcotest.(check int) "value back to one" 1 (C.value sub h);
+      C.dec sub (Machine.core m 3) h;
+      settle m;
+      Alcotest.(check int) "freed" 1 !freed
+    in
+    [
+      Alcotest.test_case (C.name ^ " value tracking") `Quick test_value_tracking;
+      Alcotest.test_case (C.name ^ " free on zero") `Quick test_free_on_zero;
+      Alcotest.test_case (C.name ^ " many cores") `Quick test_many_cores;
+    ]
+end
+
+module Shared_suite = Counter_suite (Refcnt.Shared_counter)
+module Snzi_suite = Counter_suite (Refcnt.Snzi)
+module Dist_suite = Counter_suite (Refcnt.Distributed_counter)
+module Rc_suite = Counter_suite (Refcnt.Refcache_counter)
+
+let test_snzi_cross_core_dec () =
+  let m = machine ~ncores:8 () in
+  let sub = Refcnt.Snzi.create m in
+  let freed = ref 0 in
+  let h =
+    Refcnt.Snzi.make sub (Machine.core m 0) ~init:1 ~on_free:(fun _ ->
+        incr freed)
+  in
+  (* inc on core 0, dec on core 7 (different leaf): must not underflow. *)
+  Refcnt.Snzi.inc sub (Machine.core m 0) h;
+  Refcnt.Snzi.dec sub (Machine.core m 7) h;
+  Alcotest.(check int) "value" 1 (Refcnt.Snzi.value sub h);
+  Refcnt.Snzi.dec sub (Machine.core m 7) h;
+  Alcotest.(check int) "freed" 1 !freed
+
+let test_space_claims () =
+  let p = Params.default ~ncores:80 () in
+  let refcache = Refcnt.Refcache_counter.bytes_per_object p in
+  let snzi = Refcnt.Snzi.bytes_per_object p in
+  let dist = Refcnt.Distributed_counter.bytes_per_object p in
+  Alcotest.(check bool) "refcache is O(1) per object" true (refcache < 100);
+  Alcotest.(check bool) "snzi is O(cores)" true (snzi > 40 * 8);
+  Alcotest.(check bool) "distributed is O(cores)" true (dist >= 80 * 64)
+
+let test_shared_counter_contention_visible () =
+  let m = machine ~ncores:8 () in
+  let sub = Refcnt.Shared_counter.create m in
+  let h =
+    Refcnt.Shared_counter.make sub (Machine.core m 0) ~init:1
+      ~on_free:(fun _ -> ())
+  in
+  let s = Machine.stats m in
+  for c = 0 to 7 do
+    Refcnt.Shared_counter.inc sub (Machine.core m c) h
+  done;
+  Alcotest.(check bool)
+    "every core transferred the counter line" true
+    (Stats.total_transfers s >= 7)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "refcnt"
+    [
+      ( "refcache",
+        [
+          tc "free after zero" `Quick test_free_after_zero;
+          tc "alive while referenced" `Quick test_not_freed_while_referenced;
+          tc "batching avoids traffic" `Quick test_batching_no_global_writes;
+          tc "reordered flush" `Quick test_reordered_flush_no_false_free;
+          tc "dirty zero" `Quick test_dirty_zero_delays_but_frees;
+        ] );
+      ( "weakref",
+        [
+          tc "tryget revives" `Quick test_tryget_revives;
+          tc "tryget after free" `Quick test_tryget_after_free;
+          tc "zero-init reviewed" `Quick test_zero_init_object_reviewed;
+          tc "zero-init revived" `Quick test_zero_init_revived_by_inc;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest refcache_linearizable ]);
+      ("counter shared", Shared_suite.tests ~deferred:false);
+      ("counter snzi", Snzi_suite.tests ~deferred:false);
+      ("counter distributed", Dist_suite.tests ~deferred:false);
+      ("counter refcache", Rc_suite.tests ~deferred:true);
+      ( "counter misc",
+        [
+          tc "snzi cross-core dec" `Quick test_snzi_cross_core_dec;
+          tc "space claims" `Quick test_space_claims;
+          tc "shared counter contention" `Quick test_shared_counter_contention_visible;
+        ] );
+    ]

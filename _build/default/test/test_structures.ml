@@ -1,0 +1,240 @@
+(* Model-based tests for the index structures: skip list, red-black tree,
+   COW weight-balanced tree. Each is checked against a Map oracle under
+   random operation sequences, with structural invariants verified after
+   every batch. *)
+
+open Ccsim
+module IntMap = Map.Make (Int)
+
+let machine () = Machine.create (Params.default ~ncores:8 ())
+
+type op = Insert of int * int | Remove of int | Find of int | Floor of int
+
+let op_gen key_range =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun k v -> Insert (k, v)) (int_bound key_range) (int_bound 1000));
+        (3, map (fun k -> Remove k) (int_bound key_range));
+        (2, map (fun k -> Find k) (int_bound key_range));
+        (1, map (fun k -> Floor k) (int_bound key_range));
+      ])
+
+let op_print = function
+  | Insert (k, v) -> Printf.sprintf "ins(%d,%d)" k v
+  | Remove k -> Printf.sprintf "rem(%d)" k
+  | Find k -> Printf.sprintf "find(%d)" k
+  | Floor k -> Printf.sprintf "floor(%d)" k
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map op_print l))
+    QCheck.Gen.(list_size (int_range 1 200) (op_gen 50))
+
+let map_floor m k =
+  IntMap.fold (fun key v acc -> if key <= k then Some (key, v) else acc) m None
+
+(* A common harness: the structure under test exposes map-like charged
+   operations plus an invariant checker and an uncharged dump. *)
+module type Map_like = sig
+  type t
+
+  val name : string
+  val create : Core.t -> t
+  val insert : Core.t -> t -> int -> int -> unit
+  val remove : Core.t -> t -> int -> bool
+  val find : Core.t -> t -> int -> int option
+  val floor : Core.t -> t -> int -> (int * int) option
+  val to_alist : t -> (int * int) list
+  val check_invariants : t -> unit
+end
+
+module Harness (S : Map_like) = struct
+  let model_test =
+    QCheck.Test.make
+      ~name:(S.name ^ " matches Map oracle")
+      ~count:120 ops_arb
+      (fun ops ->
+        let m = machine () in
+        let core = Machine.core m 0 in
+        let t = S.create core in
+        let model = ref IntMap.empty in
+        List.for_all
+          (fun op ->
+            let ok =
+              match op with
+              | Insert (k, v) ->
+                  S.insert core t k v;
+                  model := IntMap.add k v !model;
+                  true
+              | Remove k ->
+                  let present = IntMap.mem k !model in
+                  let removed = S.remove core t k in
+                  model := IntMap.remove k !model;
+                  removed = present
+              | Find k -> S.find core t k = IntMap.find_opt k !model
+              | Floor k -> S.floor core t k = map_floor !model k
+            in
+            S.check_invariants t;
+            ok && S.to_alist t = IntMap.bindings !model)
+          ops)
+
+  let basic () =
+    let m = machine () in
+    let core = Machine.core m 0 in
+    let t = S.create core in
+    Alcotest.(check (option int)) "empty find" None (S.find core t 5);
+    S.insert core t 5 50;
+    S.insert core t 1 10;
+    S.insert core t 9 90;
+    Alcotest.(check (option int)) "find 5" (Some 50) (S.find core t 5);
+    S.insert core t 5 55;
+    Alcotest.(check (option int)) "replaced" (Some 55) (S.find core t 5);
+    Alcotest.(check (list (pair int int)))
+      "sorted" [ (1, 10); (5, 55); (9, 90) ] (S.to_alist t);
+    Alcotest.(check bool) "remove" true (S.remove core t 5);
+    Alcotest.(check bool) "remove absent" false (S.remove core t 5);
+    Alcotest.(check (option (pair int int))) "floor" (Some (1, 10)) (S.floor core t 4);
+    Alcotest.(check (option (pair int int))) "floor exact" (Some (9, 90)) (S.floor core t 9);
+    Alcotest.(check (option (pair int int))) "floor below" None (S.floor core t 0);
+    S.check_invariants t
+
+  let ascending_descending () =
+    let m = machine () in
+    let core = Machine.core m 0 in
+    let t = S.create core in
+    for k = 1 to 200 do
+      S.insert core t k k;
+      S.check_invariants t
+    done;
+    for k = 200 downto 1 do
+      Alcotest.(check bool) (Printf.sprintf "rm %d" k) true (S.remove core t k);
+      S.check_invariants t
+    done;
+    Alcotest.(check (list (pair int int))) "empty" [] (S.to_alist t)
+
+  let tests =
+    [
+      Alcotest.test_case (S.name ^ " basic") `Quick basic;
+      Alcotest.test_case (S.name ^ " asc/desc") `Quick ascending_descending;
+      QCheck_alcotest.to_alcotest model_test;
+    ]
+end
+
+module Skiplist_adapter = struct
+  include Structures.Skiplist
+
+  type t = int Structures.Skiplist.t
+
+  let name = "skiplist"
+  let create core = create core
+end
+
+module Rbtree_adapter = struct
+  include Structures.Rbtree
+
+  type t = int Structures.Rbtree.t
+
+  let name = "rbtree"
+end
+
+module Cow_adapter = struct
+  include Structures.Cow_tree
+
+  type t = int Structures.Cow_tree.t
+
+  let name = "cow_tree"
+end
+
+module Skiplist_h = Harness (Skiplist_adapter)
+module Rbtree_h = Harness (Rbtree_adapter)
+module Cow_h = Harness (Cow_adapter)
+
+(* ------------------------------------------------------------------ *)
+(* Structure-specific cost-shape checks                                *)
+
+(* The Figure 6 mechanism: a writer on unrelated keys invalidates interior
+   nodes that readers then have to re-fetch. *)
+let test_skiplist_interior_contention () =
+  let m = machine () in
+  let reader = Machine.core m 0 and writer = Machine.core m 1 in
+  let t = Structures.Skiplist.create reader in
+  for k = 0 to 199 do
+    Structures.Skiplist.insert reader t (2 * k) k
+  done;
+  (* Warm the reader's cache. *)
+  for k = 0 to 199 do
+    ignore (Structures.Skiplist.find reader t (2 * k))
+  done;
+  let s = Machine.stats m in
+  let before = Stats.total_transfers s in
+  ignore (Structures.Skiplist.find reader t 100);
+  let warm_read_cost = Stats.total_transfers s - before in
+  Alcotest.(check int) "warm lookup moves no lines" 0 warm_read_cost;
+  (* One insert on a *different* key dirties predecessor towers. *)
+  Structures.Skiplist.insert writer t 101 1;
+  let before = Stats.total_transfers s in
+  ignore (Structures.Skiplist.find reader t 301);
+  Alcotest.(check bool)
+    "unrelated lookup now transfers lines" true
+    (Stats.total_transfers s - before > 0)
+
+(* The COW tree's readers never write shared lines. *)
+let test_cow_readers_cache () =
+  let m = machine () in
+  let reader = Machine.core m 0 and writer = Machine.core m 1 in
+  let t = Structures.Cow_tree.create writer in
+  for k = 0 to 99 do
+    Structures.Cow_tree.insert writer t k k
+  done;
+  for k = 0 to 99 do
+    ignore (Structures.Cow_tree.find reader t k)
+  done;
+  let s = Machine.stats m in
+  let before = Stats.total_transfers s + s.Stats.dram_fills in
+  for k = 0 to 99 do
+    ignore (Structures.Cow_tree.find reader t k)
+  done;
+  Alcotest.(check int)
+    "repeat lookups fully cached" before
+    (Stats.total_transfers s + s.Stats.dram_fills)
+
+let test_skiplist_floor_between () =
+  let m = machine () in
+  let core = Machine.core m 0 in
+  let t = Structures.Skiplist.create core in
+  Structures.Skiplist.insert core t 10 1;
+  Structures.Skiplist.insert core t 20 2;
+  Alcotest.(check (option (pair int int)))
+    "floor mid" (Some (10, 1))
+    (Structures.Skiplist.floor core t 15);
+  Alcotest.(check int) "length" 2 (Structures.Skiplist.length t)
+
+let test_rbtree_ceiling () =
+  let m = machine () in
+  let core = Machine.core m 0 in
+  let t = Structures.Rbtree.create core in
+  List.iter (fun k -> Structures.Rbtree.insert core t k k) [ 10; 20; 30 ];
+  Alcotest.(check (option (pair int int)))
+    "ceiling mid" (Some (20, 20))
+    (Structures.Rbtree.ceiling core t 15);
+  Alcotest.(check (option (pair int int)))
+    "ceiling above" None
+    (Structures.Rbtree.ceiling core t 31);
+  Alcotest.(check int) "size" 3 (Structures.Rbtree.size t)
+
+let () =
+  Alcotest.run "structures"
+    [
+      ("skiplist", Skiplist_h.tests);
+      ("rbtree", Rbtree_h.tests);
+      ("cow_tree", Cow_h.tests);
+      ( "cost shapes",
+        [
+          Alcotest.test_case "skiplist interior contention" `Quick
+            test_skiplist_interior_contention;
+          Alcotest.test_case "cow readers cache" `Quick test_cow_readers_cache;
+          Alcotest.test_case "skiplist floor" `Quick test_skiplist_floor_between;
+          Alcotest.test_case "rbtree ceiling" `Quick test_rbtree_ceiling;
+        ] );
+    ]
