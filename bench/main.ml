@@ -1,7 +1,10 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (section 5). Run with no arguments for everything, or pass
    target names: table1 fig4 fig5 table2 pt-overhead fig6 fig7 fig8 fig9
-   wallclock. `--quick` shrinks sweeps for smoke testing. *)
+   wallclock. `--quick` shrinks sweeps for smoke testing; `--check`
+   attaches the dynamic checker to every microbenchmark run and prints a
+   verdict summary (zero-sharing, races, lock order, TLB, refcounts)
+   after each figure. *)
 
 module Radixvm = Vm.Radixvm.Default
 module MB_radix = Workloads.Microbench.Make (Vm.Radixvm.Default)
@@ -16,6 +19,45 @@ module CB_snzi = Workloads.Counter_bench.Make (Refcnt.Snzi)
 module CB_dist = Workloads.Counter_bench.Make (Refcnt.Distributed_counter)
 
 let quick = ref false
+let check = ref false
+
+(* With --check every instrumented run records a verdict; a figure calls
+   [report_checks] once its table is printed so the summary does not
+   interleave with the rows. The sharing window opens at the
+   warmup/measure boundary (the [on_measure] hook), so startup handoffs
+   are excluded exactly as they are from the throughput numbers. *)
+let check_results : (string * bool) list ref = ref []
+
+let checked ~name ~allow run =
+  if not !check then run ~on_machine:ignore ~on_measure:ignore
+  else begin
+    let chk = ref None in
+    let r =
+      run
+        ~on_machine:(fun m -> chk := Some (Check.attach m))
+        ~on_measure:(fun () -> Option.iter Check.reset_window !chk)
+    in
+    (match !chk with
+    | Some c -> check_results := (name, Check.ok ~allow c) :: !check_results
+    | None -> ());
+    r
+  end
+
+let report_checks () =
+  if !check then begin
+    let total = List.length !check_results in
+    let bad = List.filter (fun (_, ok) -> not ok) !check_results in
+    Printf.printf
+      "\ncheck: %d instrumented runs, %d clean, %d with findings\n" total
+      (total - List.length bad)
+      (List.length bad);
+    List.iter
+      (fun (n, _) -> Printf.printf "  findings: %s\n" n)
+      (List.rev bad);
+    check_results := [];
+    flush stdout
+  end
+
 let core_counts () = if !quick then [ 1; 4; 16 ] else [ 1; 10; 20; 40; 60; 80 ]
 let micro_duration () = if !quick then 400_000 else 2_000_000
 
@@ -144,48 +186,89 @@ let micro_systems () =
       ms_name = "RadixVM";
       ms_local =
         (fun ~ncores ~duration ->
-          MB_radix.local ~warmup:(micro_warmup ncores) ~ncores ~duration
-            Radixvm.create);
+          checked
+            ~name:(Printf.sprintf "RadixVM local %d cores" ncores)
+            ~allow:Check.radixvm_allow
+            (fun ~on_machine ~on_measure ->
+              MB_radix.local ~on_machine ~on_measure
+                ~warmup:(micro_warmup ncores) ~ncores ~duration Radixvm.create));
       ms_pipeline =
         (fun ~ncores ~duration ->
-          MB_radix.pipeline ~warmup:(micro_warmup ncores) ~ncores ~duration
-            Radixvm.create);
+          checked
+            ~name:(Printf.sprintf "RadixVM pipeline %d cores" ncores)
+            ~allow:Check.radixvm_allow
+            (fun ~on_machine ~on_measure ->
+              MB_radix.pipeline ~on_machine ~on_measure
+                ~warmup:(micro_warmup ncores) ~ncores ~duration Radixvm.create));
       ms_global =
         (fun ~ncores ~duration:_ ->
           let d = global_duration ncores in
-          MB_radix.global ~warmup:d ~ncores ~duration:d Radixvm.create);
+          checked
+            ~name:(Printf.sprintf "RadixVM global %d cores" ncores)
+            ~allow:Check.radixvm_allow
+            (fun ~on_machine ~on_measure ->
+              MB_radix.global ~on_machine ~on_measure ~warmup:d ~ncores
+                ~duration:d Radixvm.create));
     };
     {
       ms_name = "Bonsai";
       ms_local =
         (fun ~ncores ~duration ->
-          MB_bonsai.local ~warmup:(micro_warmup ncores) ~ncores ~duration
-            Baselines.Bonsai_vm.create);
+          checked
+            ~name:(Printf.sprintf "Bonsai local %d cores" ncores)
+            ~allow:[]
+            (fun ~on_machine ~on_measure ->
+              MB_bonsai.local ~on_machine ~on_measure
+                ~warmup:(micro_warmup ncores) ~ncores ~duration
+                Baselines.Bonsai_vm.create));
       ms_pipeline =
         (fun ~ncores ~duration ->
-          MB_bonsai.pipeline ~warmup:(micro_warmup ncores) ~ncores ~duration
-            Baselines.Bonsai_vm.create);
+          checked
+            ~name:(Printf.sprintf "Bonsai pipeline %d cores" ncores)
+            ~allow:[]
+            (fun ~on_machine ~on_measure ->
+              MB_bonsai.pipeline ~on_machine ~on_measure
+                ~warmup:(micro_warmup ncores) ~ncores ~duration
+                Baselines.Bonsai_vm.create));
       ms_global =
         (fun ~ncores ~duration:_ ->
           let d = global_duration ncores in
-          MB_bonsai.global ~warmup:d ~ncores ~duration:d
-            Baselines.Bonsai_vm.create);
+          checked
+            ~name:(Printf.sprintf "Bonsai global %d cores" ncores)
+            ~allow:[]
+            (fun ~on_machine ~on_measure ->
+              MB_bonsai.global ~on_machine ~on_measure ~warmup:d ~ncores
+                ~duration:d Baselines.Bonsai_vm.create));
     };
     {
       ms_name = "Linux";
       ms_local =
         (fun ~ncores ~duration ->
-          MB_linux.local ~warmup:(micro_warmup ncores) ~ncores ~duration
-            Baselines.Linux_vm.create);
+          checked
+            ~name:(Printf.sprintf "Linux local %d cores" ncores)
+            ~allow:[]
+            (fun ~on_machine ~on_measure ->
+              MB_linux.local ~on_machine ~on_measure
+                ~warmup:(micro_warmup ncores) ~ncores ~duration
+                Baselines.Linux_vm.create));
       ms_pipeline =
         (fun ~ncores ~duration ->
-          MB_linux.pipeline ~warmup:(micro_warmup ncores) ~ncores ~duration
-            Baselines.Linux_vm.create);
+          checked
+            ~name:(Printf.sprintf "Linux pipeline %d cores" ncores)
+            ~allow:[]
+            (fun ~on_machine ~on_measure ->
+              MB_linux.pipeline ~on_machine ~on_measure
+                ~warmup:(micro_warmup ncores) ~ncores ~duration
+                Baselines.Linux_vm.create));
       ms_global =
         (fun ~ncores ~duration:_ ->
           let d = global_duration ncores in
-          MB_linux.global ~warmup:d ~ncores ~duration:d
-            Baselines.Linux_vm.create);
+          checked
+            ~name:(Printf.sprintf "Linux global %d cores" ncores)
+            ~allow:[]
+            (fun ~on_machine ~on_measure ->
+              MB_linux.global ~on_machine ~on_measure ~warmup:d ~ncores
+                ~duration:d Baselines.Linux_vm.create));
     };
   ]
 
@@ -209,7 +292,8 @@ let fig5 () =
   header "Figure 5: local / pipeline / global microbenchmarks";
   run_micro_table "local" (fun s -> s.ms_local);
   run_micro_table "pipeline" (fun s -> s.ms_pipeline);
-  run_micro_table "global" (fun s -> s.ms_global)
+  run_micro_table "global" (fun s -> s.ms_global);
+  report_checks ()
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: memory overhead                                            *)
@@ -326,31 +410,48 @@ let fig9 () =
   let benches =
     [
       ( "local",
-        fun make ~ncores ->
-          MB_radix.local ~warmup:(micro_warmup ncores) ~ncores
-            ~duration:(micro_duration ()) make );
+        fun ~pt make ~ncores ->
+          checked
+            ~name:(Printf.sprintf "RadixVM/%s local %d cores" pt ncores)
+            ~allow:Check.radixvm_allow
+            (fun ~on_machine ~on_measure ->
+              MB_radix.local ~on_machine ~on_measure
+                ~warmup:(micro_warmup ncores) ~ncores
+                ~duration:(micro_duration ()) make) );
       ( "pipeline",
-        fun make ~ncores ->
-          MB_radix.pipeline ~warmup:(micro_warmup ncores) ~ncores:(max 2 ncores)
-            ~duration:(micro_duration ()) make );
+        fun ~pt make ~ncores ->
+          checked
+            ~name:(Printf.sprintf "RadixVM/%s pipeline %d cores" pt ncores)
+            ~allow:Check.radixvm_allow
+            (fun ~on_machine ~on_measure ->
+              MB_radix.pipeline ~on_machine ~on_measure
+                ~warmup:(micro_warmup ncores) ~ncores:(max 2 ncores)
+                ~duration:(micro_duration ()) make) );
       ( "global",
-        fun make ~ncores ->
+        fun ~pt make ~ncores ->
           let d = global_duration ncores in
-          MB_radix.global ~warmup:d ~ncores ~duration:d make );
+          checked
+            ~name:(Printf.sprintf "RadixVM/%s global %d cores" pt ncores)
+            ~allow:Check.radixvm_allow
+            (fun ~on_machine ~on_measure ->
+              MB_radix.global ~on_machine ~on_measure ~warmup:d ~ncores
+                ~duration:d make) );
     ]
   in
   List.iter
     (fun (bname, run) ->
       Printf.printf "\n-- %s (total page writes/sec) --\n" bname;
       row_header "cores" (List.map string_of_int (core_counts ()));
-      let cells_of make =
+      let cells_of ~pt make =
         List.map
-          (fun n -> k (run make ~ncores:n).Workloads.Microbench.writes_per_sec)
+          (fun n ->
+            k (run ~pt make ~ncores:n).Workloads.Microbench.writes_per_sec)
           (core_counts ())
       in
-      row "Per-core" (cells_of make_per_core);
-      row "Shared" (cells_of make_shared))
-    benches
+      row "Per-core" (cells_of ~pt:"per-core" make_per_core);
+      row "Shared" (cells_of ~pt:"shared" make_shared))
+    benches;
+  report_checks ()
 
 (* ------------------------------------------------------------------ *)
 (* Ablation D lives in [ablations] too: fork cost vs address-space size *)
@@ -563,6 +664,10 @@ let () =
       (fun a ->
         if a = "--quick" then begin
           quick := true;
+          false
+        end
+        else if a = "--check" then begin
+          check := true;
           false
         end
         else true)

@@ -30,48 +30,81 @@ let duration_arg =
     & opt int 2_000_000
     & info [ "duration" ] ~doc:"Simulated run length in cycles.")
 
+let check_arg =
+  let doc =
+    "Attach the dynamic checker (lockset races, lock-order cycles, \
+     zero-sharing census, TLB coherence, refcount ledger) to the run and \
+     print its report after the results."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+(* The checker attaches when the machine is built and opens its sharing
+   window at the warmup/measure boundary, exactly where [Stats.reset]
+   runs; for RadixVM the zero-sharing verdict uses the documented
+   allowlist, baselines are reported raw. *)
+let checked_report vm chk =
+  match !chk with
+  | None -> ()
+  | Some c ->
+      let allow =
+        match vm with
+        | "radixvm" | "radixvm-shared" -> Check.radixvm_allow
+        | _ -> []
+      in
+      Format.printf "%a@." (Check.report ~allow) c
+
 (* ---- micro ---- *)
 
-let micro bench vm cores duration =
+let micro bench vm cores duration check =
+  let chk = ref None in
+  let on_machine m = if check then chk := Some (Check.attach m) in
+  let on_measure () = Option.iter Check.reset_window !chk in
   let pick local pipeline global =
     match bench with
-    | "local" -> local ~ncores:cores ~duration
-    | "pipeline" -> pipeline ~ncores:(max 2 cores) ~duration
-    | "global" -> global ~ncores:cores ~duration
+    | "local" -> local ~on_machine ~on_measure ~ncores:cores ~duration
+    | "pipeline" -> pipeline ~on_machine ~on_measure ~ncores:(max 2 cores) ~duration
+    | "global" -> global ~on_machine ~on_measure ~ncores:cores ~duration
     | other -> failwith ("unknown benchmark " ^ other)
   in
   let result =
     match vm with
     | "radixvm" ->
         pick
-          (fun ~ncores ~duration -> MB_radix.local ~ncores ~duration Radixvm.create)
-          (fun ~ncores ~duration -> MB_radix.pipeline ~ncores ~duration Radixvm.create)
-          (fun ~ncores ~duration -> MB_radix.global ~ncores ~duration Radixvm.create)
+          (fun ~on_machine ~on_measure ~ncores ~duration ->
+            MB_radix.local ~on_machine ~on_measure ~ncores ~duration Radixvm.create)
+          (fun ~on_machine ~on_measure ~ncores ~duration ->
+            MB_radix.pipeline ~on_machine ~on_measure ~ncores ~duration Radixvm.create)
+          (fun ~on_machine ~on_measure ~ncores ~duration ->
+            MB_radix.global ~on_machine ~on_measure ~ncores ~duration Radixvm.create)
     | "radixvm-shared" ->
         let make m = Radixvm.create_with ~mmu:Vm.Page_table.Shared m in
         pick
-          (fun ~ncores ~duration -> MB_radix.local ~ncores ~duration make)
-          (fun ~ncores ~duration -> MB_radix.pipeline ~ncores ~duration make)
-          (fun ~ncores ~duration -> MB_radix.global ~ncores ~duration make)
+          (fun ~on_machine ~on_measure ~ncores ~duration ->
+            MB_radix.local ~on_machine ~on_measure ~ncores ~duration make)
+          (fun ~on_machine ~on_measure ~ncores ~duration ->
+            MB_radix.pipeline ~on_machine ~on_measure ~ncores ~duration make)
+          (fun ~on_machine ~on_measure ~ncores ~duration ->
+            MB_radix.global ~on_machine ~on_measure ~ncores ~duration make)
     | "linux" ->
         pick
-          (fun ~ncores ~duration ->
-            MB_linux.local ~ncores ~duration Baselines.Linux_vm.create)
-          (fun ~ncores ~duration ->
-            MB_linux.pipeline ~ncores ~duration Baselines.Linux_vm.create)
-          (fun ~ncores ~duration ->
-            MB_linux.global ~ncores ~duration Baselines.Linux_vm.create)
+          (fun ~on_machine ~on_measure ~ncores ~duration ->
+            MB_linux.local ~on_machine ~on_measure ~ncores ~duration Baselines.Linux_vm.create)
+          (fun ~on_machine ~on_measure ~ncores ~duration ->
+            MB_linux.pipeline ~on_machine ~on_measure ~ncores ~duration Baselines.Linux_vm.create)
+          (fun ~on_machine ~on_measure ~ncores ~duration ->
+            MB_linux.global ~on_machine ~on_measure ~ncores ~duration Baselines.Linux_vm.create)
     | "bonsai" ->
         pick
-          (fun ~ncores ~duration ->
-            MB_bonsai.local ~ncores ~duration Baselines.Bonsai_vm.create)
-          (fun ~ncores ~duration ->
-            MB_bonsai.pipeline ~ncores ~duration Baselines.Bonsai_vm.create)
-          (fun ~ncores ~duration ->
-            MB_bonsai.global ~ncores ~duration Baselines.Bonsai_vm.create)
+          (fun ~on_machine ~on_measure ~ncores ~duration ->
+            MB_bonsai.local ~on_machine ~on_measure ~ncores ~duration Baselines.Bonsai_vm.create)
+          (fun ~on_machine ~on_measure ~ncores ~duration ->
+            MB_bonsai.pipeline ~on_machine ~on_measure ~ncores ~duration Baselines.Bonsai_vm.create)
+          (fun ~on_machine ~on_measure ~ncores ~duration ->
+            MB_bonsai.global ~on_machine ~on_measure ~ncores ~duration Baselines.Bonsai_vm.create)
     | other -> failwith ("unknown vm " ^ other)
   in
-  Format.printf "%a@." Workloads.Microbench.pp_result result
+  Format.printf "%a@." Workloads.Microbench.pp_result result;
+  checked_report vm chk
 
 let micro_cmd =
   let bench =
@@ -81,7 +114,7 @@ let micro_cmd =
   in
   Cmd.v
     (Cmd.info "micro" ~doc:"Run a section-5.3 microbenchmark.")
-    Term.(const micro $ bench $ vm_arg $ cores_arg $ duration_arg)
+    Term.(const micro $ bench $ vm_arg $ cores_arg $ duration_arg $ check_arg)
 
 (* ---- metis ---- *)
 
@@ -119,24 +152,28 @@ let metis_cmd =
 
 (* ---- counter ---- *)
 
-let counter scheme cores duration =
+let counter scheme cores duration check =
+  let chk = ref None in
+  let on_machine m = if check then chk := Some (Check.attach m) in
+  let on_measure () = Option.iter Check.reset_window !chk in
   let result =
     match scheme with
     | "refcache" ->
         let module B = Workloads.Counter_bench.Make (Refcnt.Refcache_counter) in
-        B.run ~ncores:cores ~duration ()
+        B.run ~on_machine ~on_measure ~ncores:cores ~duration ()
     | "shared" ->
         let module B = Workloads.Counter_bench.Make (Refcnt.Shared_counter) in
-        B.run ~ncores:cores ~duration ()
+        B.run ~on_machine ~on_measure ~ncores:cores ~duration ()
     | "snzi" ->
         let module B = Workloads.Counter_bench.Make (Refcnt.Snzi) in
-        B.run ~ncores:cores ~duration ()
+        B.run ~on_machine ~on_measure ~ncores:cores ~duration ()
     | "distributed" ->
         let module B = Workloads.Counter_bench.Make (Refcnt.Distributed_counter) in
-        B.run ~ncores:cores ~duration ()
+        B.run ~on_machine ~on_measure ~ncores:cores ~duration ()
     | other -> failwith ("unknown scheme " ^ other)
   in
-  Format.printf "%a@." Workloads.Counter_bench.pp_result result
+  Format.printf "%a@." Workloads.Counter_bench.pp_result result;
+  checked_report scheme chk
 
 let counter_cmd =
   let scheme =
@@ -147,7 +184,7 @@ let counter_cmd =
   in
   Cmd.v
     (Cmd.info "counter" ~doc:"Run the Figure 8 refcounting benchmark.")
-    Term.(const counter $ scheme $ cores_arg $ duration_arg)
+    Term.(const counter $ scheme $ cores_arg $ duration_arg $ check_arg)
 
 (* ---- index ---- *)
 

@@ -9,7 +9,7 @@ end
 module Mutex_locking = struct
   type lk = Lock.t
 
-  let create core = Lock.create core
+  let create core = Lock.create ~label:"bonsai:aslock" core
   let read_lock _core _lk = ()
   let read_unlock _core _lk = ()
   let write_lock core lk = Lock.acquire core lk

@@ -7,7 +7,7 @@ end
 module Rw_locking = struct
   type lk = Rwlock.t
 
-  let create core = Rwlock.create core
+  let create core = Rwlock.create ~label:"linux:aslock" core
   let read_lock core lk = Rwlock.read_acquire core lk
   let read_unlock core lk = Rwlock.read_release core lk
   let write_lock core lk = Rwlock.write_acquire core lk

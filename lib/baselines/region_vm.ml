@@ -128,6 +128,15 @@ struct
       List.map snd removed
     end
 
+  (* The unmapped range's shootdown round is over (or there was nothing to
+     shoot down): no core may still cache a translation for [lo, hi). *)
+  let unmap_done t (core : Core.t) ~lo ~hi =
+    let obs = Machine.obs t.machine in
+    if Obs.active obs then
+      Obs.emit obs
+        (Obs.Unmap_done
+           { core = core.Core.id; asid = Mmu.asid t.mmu; lo; hi })
+
   let free_frames t core frames =
     List.iter (fun pfn -> Physmem.free (Machine.physmem t.machine) core pfn) frames
 
@@ -164,6 +173,7 @@ struct
     L.write_lock core t.lock;
     let had_overlap = carve t core ~lo ~hi in
     let frames = if had_overlap then shootdown_range t core ~lo ~hi else [] in
+    unmap_done t core ~lo ~hi;
     insert_vma t core { start = lo; len = npages; prot; backing };
     L.write_unlock core t.lock;
     free_frames t core frames
@@ -177,6 +187,7 @@ struct
     L.write_lock core t.lock;
     let had_overlap = carve t core ~lo ~hi in
     let frames = if had_overlap then shootdown_range t core ~lo ~hi else [] in
+    unmap_done t core ~lo ~hi;
     L.write_unlock core t.lock;
     free_frames t core frames
 

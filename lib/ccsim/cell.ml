@@ -1,8 +1,8 @@
 type 'a t = { mutable v : 'a; line : Line.t }
 
-let make (core : Core.t) v =
+let make ?(label = "cell") (core : Core.t) v =
   let line =
-    Line.create core.Core.params core.Core.stats
+    Line.create ~label core.Core.params core.Core.stats
       ~home_socket:core.Core.socket
   in
   { v; line }
@@ -18,8 +18,12 @@ let write core t v =
   Line.write core t.line;
   t.v <- v
 
+let write_atomic core t v =
+  Line.write_atomic core t.line;
+  t.v <- v
+
 let cas core t ~expect ~update =
-  Line.write core t.line;
+  Line.write_atomic core t.line;
   if t.v = expect then begin
     t.v <- update;
     true
@@ -27,7 +31,7 @@ let cas core t ~expect ~update =
   else false
 
 let fetch_add core t n =
-  Line.write core t.line;
+  Line.write_atomic core t.line;
   let old = t.v in
   t.v <- old + n;
   old

@@ -10,9 +10,9 @@
 
 type 'a t
 
-val make : Core.t -> 'a -> 'a t
+val make : ?label:string -> Core.t -> 'a -> 'a t
 (** [make core v] is a cell on a fresh private line homed on [core]'s
-    socket. *)
+    socket. [label] names the line in checker reports. *)
 
 val make_on : Line.t -> 'a -> 'a t
 (** A cell placed on an existing line (false sharing). *)
@@ -20,6 +20,12 @@ val make_on : Line.t -> 'a -> 'a t
 val line : 'a t -> Line.t
 val read : Core.t -> 'a t -> 'a
 val write : Core.t -> 'a t -> 'a -> unit
+
+val write_atomic : Core.t -> 'a t -> 'a -> unit
+(** Atomic store (e.g. a release-publish in a lock-free protocol). Costs
+    the same as {!write} but is tagged [Atomic] in the event stream, so a
+    race checker knows it is part of a synchronization protocol rather
+    than an unprotected plain store. *)
 
 val cas : Core.t -> 'a t -> expect:'a -> update:'a -> bool
 (** Atomic compare-and-swap; always charges a write access (x86 semantics:

@@ -3,17 +3,19 @@ type t = {
   socket : int;
   params : Params.t;
   stats : Stats.t;
+  obs : Obs.t;
   mutable clock : int;
   mutable pending_intr : int;
   rng : Random.State.t;
 }
 
-let create params stats ~id =
+let create ?obs params stats ~id =
   {
     id;
     socket = Params.socket_of_core params id;
     params;
     stats;
+    obs = (match obs with Some o -> o | None -> Obs.create ());
     clock = 0;
     pending_intr = 0;
     rng = Random.State.make [| 0x5eed; id |];

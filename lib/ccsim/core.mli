@@ -10,6 +10,7 @@ type t = {
   socket : int;
   params : Params.t;
   stats : Stats.t;
+  obs : Obs.t;  (** the machine's instrumentation stream (shared) *)
   mutable clock : int;  (** local time in cycles *)
   mutable pending_intr : int;
       (** interrupt-handler cycles charged by IPIs received while this core
@@ -17,7 +18,9 @@ type t = {
   rng : Random.State.t;  (** deterministic per-core randomness *)
 }
 
-val create : Params.t -> Stats.t -> id:int -> t
+val create : ?obs:Obs.t -> Params.t -> Stats.t -> id:int -> t
+(** [obs] defaults to a fresh (sink-less) stream; {!Machine.create} passes
+    one shared stream to every core. *)
 
 val tick : t -> int -> unit
 (** [tick c n] advances [c]'s clock by [n] cycles ([n >= 0]). *)

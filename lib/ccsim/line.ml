@@ -1,22 +1,28 @@
 type t = {
   params : Params.t;
   stats : Stats.t;
+  id : int;
+  label : string;
   home_socket : int;
   mutable owner : int;  (* core id holding Modified/Exclusive; -1 if none *)
   sharers : Bitset.t;
   mutable free_at : int;
 }
 
-let create params stats ~home_socket =
+let create ?(label = "line") params stats ~home_socket =
   {
     params;
     stats;
+    id = Obs.fresh_line_id ();
+    label;
     home_socket;
     owner = -1;
     sharers = Bitset.create params.Params.ncores;
     free_at = 0;
   }
 
+let id t = t.id
+let label t = t.label
 let holder t = if t.owner >= 0 then Some t.owner else None
 let sharers t = Bitset.elements t.sharers
 let free_at t = t.free_at
@@ -63,7 +69,7 @@ let charge_miss t (core : Core.t) =
   t.free_at <- finish;
   core.Core.clock <- finish
 
-let read core t =
+let read_k kind core t =
   if holds_for_read t core.Core.id then begin
     t.stats.Stats.l1_hits <- t.stats.Stats.l1_hits + 1;
     Core.tick core t.params.Params.l1_hit
@@ -75,9 +81,13 @@ let read core t =
       t.owner <- -1
     end;
     Bitset.add t.sharers core.Core.id
-  end
+  end;
+  let obs = core.Core.obs in
+  if Obs.active obs then
+    Obs.emit obs
+      (Obs.Read { core = core.Core.id; line = t.id; label = t.label; kind })
 
-let write core t =
+let write_k kind core t =
   if t.owner = core.Core.id then begin
     t.stats.Stats.l1_hits <- t.stats.Stats.l1_hits + 1;
     Core.tick core t.params.Params.l1_hit
@@ -86,4 +96,14 @@ let write core t =
     charge_miss t core;
     Bitset.clear t.sharers;
     t.owner <- core.Core.id
-  end
+  end;
+  let obs = core.Core.obs in
+  if Obs.active obs then
+    Obs.emit obs
+      (Obs.Write { core = core.Core.id; line = t.id; label = t.label; kind })
+
+let read core t = read_k Obs.Plain core t
+let write core t = write_k Obs.Plain core t
+let read_atomic core t = read_k Obs.Atomic core t
+let write_atomic core t = write_k Obs.Atomic core t
+let write_sync core t = write_k Obs.Sync core t

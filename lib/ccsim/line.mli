@@ -12,9 +12,10 @@
 
 type t
 
-val create : Params.t -> Stats.t -> home_socket:int -> t
+val create : ?label:string -> Params.t -> Stats.t -> home_socket:int -> t
 (** A fresh line, present in no cache; its backing DRAM lives on
-    [home_socket]. *)
+    [home_socket]. [label] names the owning subsystem in checker reports
+    (e.g. ["radix:slot"]); it has no effect on the cost model. *)
 
 val read : Core.t -> t -> unit
 (** Charge [core] for a load from the line and update the directory. *)
@@ -22,6 +23,24 @@ val read : Core.t -> t -> unit
 val write : Core.t -> t -> unit
 (** Charge [core] for a store to the line (invalidating other holders) and
     update the directory. *)
+
+val read_atomic : Core.t -> t -> unit
+(** Like {!read} but tagged [Atomic] in the instrumentation stream: part of
+    a modeled hardware atomic, so excluded from race detection. Identical
+    cost to {!read}. *)
+
+val write_atomic : Core.t -> t -> unit
+(** Like {!write} but tagged [Atomic] (cmpxchg, fetch-add, lock-free list
+    push). Identical cost to {!write}. *)
+
+val write_sync : Core.t -> t -> unit
+(** Like {!write} but tagged [Sync]: internal traffic of a synchronization
+    primitive (e.g. a failed [try_acquire]). Identical cost to {!write}. *)
+
+val id : t -> int
+(** Stable identity used to correlate instrumentation events. *)
+
+val label : t -> string
 
 val holder : t -> int option
 (** Exclusive owner, if any (for tests). *)

@@ -1,18 +1,41 @@
-type t = { line : Line.t; mutable free_time : int; mutable holder : int }
+type t = {
+  id : int;
+  label : string;
+  line : Line.t;
+  mutable free_time : int;
+}
 
-let create (core : Core.t) =
+let create ?(label = "lock") (core : Core.t) =
   let line =
-    Line.create core.Core.params core.Core.stats
+    Line.create ~label core.Core.params core.Core.stats
       ~home_socket:core.Core.socket
   in
-  { line; free_time = 0; holder = -1 }
+  { id = Obs.fresh_lock_id (); label; line; free_time = 0 }
 
-let create_on line = { line; free_time = 0; holder = -1 }
+let create_on ?label line =
+  let label = match label with Some l -> l | None -> Line.label line in
+  { id = Obs.fresh_lock_id (); label; line; free_time = 0 }
+
+let id t = t.id
+let label t = t.label
+
+(* The line write inside a lock operation is the primitive's own traffic:
+   suppress its [Write] event and emit one [Acquire]/[Release] (carrying the
+   line id, so census still attributes the movement to the line) instead. *)
+let quiet_write core t =
+  let obs = (core : Core.t).Core.obs in
+  Obs.quiet_incr obs;
+  Line.write core t.line;
+  Obs.quiet_decr obs
+
+let emit core ev =
+  let obs = (core : Core.t).Core.obs in
+  if Obs.active obs then Obs.emit obs ev
 
 let acquire (core : Core.t) t =
   let stats = core.Core.stats in
   stats.Stats.lock_acquires <- stats.Stats.lock_acquires + 1;
-  Line.write core t.line;
+  quiet_write core t;
   let now = Core.now core in
   if t.free_time > now then begin
     stats.Stats.lock_contended <- stats.Stats.lock_contended + 1;
@@ -20,24 +43,56 @@ let acquire (core : Core.t) t =
       stats.Stats.lock_wait_cycles + (t.free_time - now);
     core.Core.clock <- t.free_time
   end;
-  t.holder <- core.Core.id
+  emit core
+    (Obs.Acquire
+       {
+         core = core.Core.id;
+         lock = t.id;
+         line = Line.id t.line;
+         label = t.label;
+         rd = false;
+       })
 
 let release (core : Core.t) t =
-  Line.write core t.line;
-  t.holder <- -1;
-  t.free_time <- Core.now core
+  quiet_write core t;
+  t.free_time <- Core.now core;
+  emit core
+    (Obs.Release
+       {
+         core = core.Core.id;
+         lock = t.id;
+         line = Line.id t.line;
+         label = t.label;
+         rd = false;
+       })
 
 let try_acquire (core : Core.t) t =
   let stats = core.Core.stats in
   stats.Stats.lock_acquires <- stats.Stats.lock_acquires + 1;
-  Line.write core t.line;
+  quiet_write core t;
   let now = Core.now core in
   if t.free_time > now then begin
     stats.Stats.lock_contended <- stats.Stats.lock_contended + 1;
+    emit core
+      (Obs.Write
+         {
+           core = core.Core.id;
+           line = Line.id t.line;
+           label = t.label;
+           kind = Obs.Sync;
+         });
     false
   end
   else begin
-    t.holder <- core.Core.id;
+    emit core
+      (Obs.Acquire
+         {
+           core = core.Core.id;
+           lock = t.id;
+           line = Line.id t.line;
+           label = t.label;
+           rd = false;
+         });
     true
   end
 

@@ -10,12 +10,18 @@
 
 type t
 
-val create : Core.t -> t
-(** A fresh unlocked lock on its own cache line. *)
+val create : ?label:string -> Core.t -> t
+(** A fresh unlocked lock on its own cache line. [label] names the lock in
+    checker reports; no effect on the cost model. *)
 
-val create_on : Line.t -> t
+val create_on : ?label:string -> Line.t -> t
 (** A lock sharing an existing line (e.g. a per-slot lock bit living in the
-    slot's line, as in the radix tree). *)
+    slot's line, as in the radix tree). [label] defaults to the line's. *)
+
+val id : t -> int
+(** Stable identity used to correlate instrumentation events. *)
+
+val label : t -> string
 
 val acquire : Core.t -> t -> unit
 val release : Core.t -> t -> unit

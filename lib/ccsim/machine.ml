@@ -3,6 +3,7 @@ type maint = { period : int; fn : Core.t -> unit; next : int array }
 type t = {
   params : Params.t;
   stats : Stats.t;
+  obs : Obs.t;
   cores : Core.t array;
   physmem : Physmem.t;
   workloads : (unit -> bool) option array;
@@ -12,11 +13,14 @@ type t = {
 
 let create params =
   let stats = Stats.create () in
+  let obs = Obs.create () in
   {
     params;
     stats;
+    obs;
     cores =
-      Array.init params.Params.ncores (fun id -> Core.create params stats ~id);
+      Array.init params.Params.ncores (fun id ->
+          Core.create ~obs params stats ~id);
     physmem = Physmem.create params stats;
     workloads = Array.make params.Params.ncores None;
     maints = [];
@@ -25,6 +29,7 @@ let create params =
 
 let params t = t.params
 let stats t = t.stats
+let obs t = t.obs
 let physmem t = t.physmem
 let ncores t = Array.length t.cores
 let core t i = t.cores.(i)

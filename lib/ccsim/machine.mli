@@ -16,6 +16,11 @@ type t
 val create : Params.t -> t
 val params : t -> Params.t
 val stats : t -> Stats.t
+
+val obs : t -> Obs.t
+(** The machine-wide instrumentation stream, shared by every core. Sink-less
+    (and therefore free) unless a checker attaches. *)
+
 val physmem : t -> Physmem.t
 val ncores : t -> int
 val core : t -> int -> Core.t

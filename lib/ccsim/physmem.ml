@@ -18,7 +18,7 @@ let create params stats =
     free_lists = Array.make n [];
     list_lines =
       Array.init n (fun i ->
-          Line.create params stats
+          Line.create ~label:"physmem:freelist" params stats
             ~home_socket:(Params.socket_of_core params i));
     home = Hashtbl.create 4096;
     content = Hashtbl.create 4096;
@@ -27,7 +27,9 @@ let create params stats =
 
 let alloc t (core : Core.t) =
   let id = core.Core.id in
-  Line.write core t.list_lines.(id);
+  (* Modeled lock-free per-core free list: pops and remote pushes are
+     hardware atomics on the list-head line. *)
+  Line.write_atomic core t.list_lines.(id);
   let frame =
     match t.free_lists.(id) with
     | f :: rest ->
@@ -52,7 +54,7 @@ let free t (core : Core.t) frame =
     | Some h -> h
     | None -> invalid_arg "Physmem.free: unknown frame"
   in
-  Line.write core t.list_lines.(home);
+  Line.write_atomic core t.list_lines.(home);
   t.free_lists.(home) <- frame :: t.free_lists.(home);
   t.stats.Stats.frames_freed <- t.stats.Stats.frames_freed + 1;
   t.live <- t.live - 1

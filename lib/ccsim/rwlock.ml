@@ -1,20 +1,35 @@
 type t = {
+  id : int;
+  label : string;
   line : Line.t;
   mutable writer_free : int;  (* time the last writer released *)
   mutable readers_free : int;  (* latest reader release time *)
 }
 
-let create (core : Core.t) =
+let create ?(label = "rwlock") (core : Core.t) =
   let line =
-    Line.create core.Core.params core.Core.stats
+    Line.create ~label core.Core.params core.Core.stats
       ~home_socket:core.Core.socket
   in
-  { line; writer_free = 0; readers_free = 0 }
+  { id = Obs.fresh_lock_id (); label; line; writer_free = 0; readers_free = 0 }
+
+let id t = t.id
+let label t = t.label
+
+let quiet_write (core : Core.t) t =
+  let obs = core.Core.obs in
+  Obs.quiet_incr obs;
+  Line.write core t.line;
+  Obs.quiet_decr obs
+
+let emit (core : Core.t) ev =
+  let obs = core.Core.obs in
+  if Obs.active obs then Obs.emit obs ev
 
 let charge_acquire (core : Core.t) t wait_until =
   let stats = core.Core.stats in
   stats.Stats.lock_acquires <- stats.Stats.lock_acquires + 1;
-  Line.write core t.line;
+  quiet_write core t;
   let now = Core.now core in
   if wait_until > now then begin
     stats.Stats.lock_contended <- stats.Stats.lock_contended + 1;
@@ -23,15 +38,52 @@ let charge_acquire (core : Core.t) t wait_until =
     core.Core.clock <- wait_until
   end
 
-let read_acquire core t = charge_acquire core t t.writer_free
+let read_acquire (core : Core.t) t =
+  charge_acquire core t t.writer_free;
+  emit core
+    (Obs.Acquire
+       {
+         core = core.Core.id;
+         lock = t.id;
+         line = Line.id t.line;
+         label = t.label;
+         rd = true;
+       })
 
 let read_release (core : Core.t) t =
-  Line.write core t.line;
-  t.readers_free <- max t.readers_free (Core.now core)
+  quiet_write core t;
+  t.readers_free <- max t.readers_free (Core.now core);
+  emit core
+    (Obs.Release
+       {
+         core = core.Core.id;
+         lock = t.id;
+         line = Line.id t.line;
+         label = t.label;
+         rd = true;
+       })
 
-let write_acquire core t =
-  charge_acquire core t (max t.writer_free t.readers_free)
+let write_acquire (core : Core.t) t =
+  charge_acquire core t (max t.writer_free t.readers_free);
+  emit core
+    (Obs.Acquire
+       {
+         core = core.Core.id;
+         lock = t.id;
+         line = Line.id t.line;
+         label = t.label;
+         rd = false;
+       })
 
 let write_release (core : Core.t) t =
-  Line.write core t.line;
-  t.writer_free <- Core.now core
+  quiet_write core t;
+  t.writer_free <- Core.now core;
+  emit core
+    (Obs.Release
+       {
+         core = core.Core.id;
+         lock = t.id;
+         line = Line.id t.line;
+         label = t.label;
+         rd = false;
+       })

@@ -9,7 +9,12 @@
 
 type t
 
-val create : Core.t -> t
+val create : ?label:string -> Core.t -> t
+
+val id : t -> int
+(** Stable identity used to correlate instrumentation events. *)
+
+val label : t -> string
 val read_acquire : Core.t -> t -> unit
 val read_release : Core.t -> t -> unit
 val write_acquire : Core.t -> t -> unit

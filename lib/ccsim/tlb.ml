@@ -4,22 +4,49 @@ type t = {
   capacity : int;
   tbl : (int, entry) Hashtbl.t;
   fifo : int Queue.t;  (* insertion order; may contain stale vpns *)
+  obs : Obs.t option;
+  core : int;  (* owning core id for instrumentation; -1 if unknown *)
+  asid : int;  (* owning address space's id; -1 if unknown *)
 }
 
-let create ~capacity =
+let create ?obs ?(core = -1) ?(asid = -1) ~capacity () =
   if capacity <= 0 then invalid_arg "Tlb.create";
-  { capacity; tbl = Hashtbl.create (2 * capacity); fifo = Queue.create () }
+  {
+    capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    fifo = Queue.create ();
+    obs;
+    core;
+    asid;
+  }
 
 let lookup t vpn = Hashtbl.find_opt t.tbl vpn
 let mem t vpn = Hashtbl.mem t.tbl vpn
 let size t = Hashtbl.length t.tbl
+
+(* Every membership change is reported, including silent FIFO evictions, so
+   a checker's mirror of the TLB contents is exact. *)
+let note_fill t vpn =
+  match t.obs with
+  | Some obs when Obs.active obs ->
+      Obs.emit obs (Obs.Tlb_fill { core = t.core; asid = t.asid; vpn })
+  | _ -> ()
+
+let note_drop t vpn =
+  match t.obs with
+  | Some obs when Obs.active obs ->
+      Obs.emit obs (Obs.Tlb_drop { core = t.core; asid = t.asid; vpn })
+  | _ -> ()
 
 (* Pop stale queue entries until a live one is evicted. *)
 let rec evict_one t =
   match Queue.take_opt t.fifo with
   | None -> ()
   | Some vpn ->
-      if Hashtbl.mem t.tbl vpn then Hashtbl.remove t.tbl vpn
+      if Hashtbl.mem t.tbl vpn then begin
+        Hashtbl.remove t.tbl vpn;
+        note_drop t vpn
+      end
       else evict_one t
 
 let insert t ~vpn ~pfn ~writable =
@@ -28,15 +55,20 @@ let insert t ~vpn ~pfn ~writable =
   else begin
     if Hashtbl.length t.tbl >= t.capacity then evict_one t;
     Hashtbl.replace t.tbl vpn entry;
-    Queue.push vpn t.fifo
+    Queue.push vpn t.fifo;
+    note_fill t vpn
   end
 
-let invalidate t vpn = Hashtbl.remove t.tbl vpn
+let invalidate t vpn =
+  if Hashtbl.mem t.tbl vpn then begin
+    Hashtbl.remove t.tbl vpn;
+    note_drop t vpn
+  end
 
 let invalidate_range t ~lo ~hi =
   if hi - lo < Hashtbl.length t.tbl then
     for vpn = lo to hi - 1 do
-      Hashtbl.remove t.tbl vpn
+      invalidate t vpn
     done
   else begin
     let doomed =
@@ -44,9 +76,13 @@ let invalidate_range t ~lo ~hi =
         (fun vpn _ acc -> if vpn >= lo && vpn < hi then vpn :: acc else acc)
         t.tbl []
     in
-    List.iter (Hashtbl.remove t.tbl) doomed
+    List.iter (invalidate t) doomed
   end
 
 let flush t =
+  (match t.obs with
+  | Some obs when Obs.active obs ->
+      Hashtbl.iter (fun vpn _ -> Obs.emit obs (Obs.Tlb_drop { core = t.core; asid = t.asid; vpn })) t.tbl
+  | _ -> ());
   Hashtbl.reset t.tbl;
   Queue.clear t.fifo

@@ -11,7 +11,13 @@ type entry = { pfn : int; writable : bool }
 
 type t
 
-val create : capacity:int -> t
+val create : ?obs:Obs.t -> ?core:int -> ?asid:int -> capacity:int -> unit -> t
+(** [obs]/[core]/[asid] wire the TLB into the instrumentation stream: every
+    membership change (fill, invalidation, silent FIFO eviction, flush) is
+    reported as a [Tlb_fill]/[Tlb_drop] on [core] in address space [asid]
+    (from {!Obs.fresh_asid}; distinguishes the TLBs of different MMUs),
+    letting a checker keep an exact mirror of the contents. Omit all three
+    for an unobserved TLB. *)
 
 val lookup : t -> int -> entry option
 (** [lookup t vpn] is the cached translation for [vpn], if present. *)

@@ -1,0 +1,594 @@
+open Ccsim
+module IS = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Findings                                                            *)
+
+type race = {
+  race_line : int;
+  race_label : string;
+  race_core : int;  (* the core whose access emptied the lockset *)
+  race_write : bool;
+  race_cores : int list;  (* every core that touched the line *)
+}
+
+type held_lock = { hl_lock : int; hl_label : string; hl_rd : bool }
+
+type lock_edge = {
+  e_from : int;
+  e_from_label : string;
+  e_to : int;
+  e_to_label : string;
+  e_core : int;  (* core that acquired [e_to] while holding [e_from] *)
+  e_held : held_lock list;  (* full held stack at that acquisition *)
+}
+
+type cycle = lock_edge list
+(* A closed path in the lock-order graph: each edge's [e_to] is the next
+   edge's [e_from], and the last edge points back at the first. *)
+
+type line_info = {
+  li_line : int;
+  li_label : string;
+  li_readers : int list;
+  li_writers : int list;
+  li_reads : int;
+  li_writes : int;
+}
+
+type tlb_violation = {
+  tv_unmap_core : int;
+  tv_asid : int;
+  tv_stale_core : int;
+  tv_vpn : int;
+  tv_lo : int;
+  tv_hi : int;
+}
+
+type rc_fault =
+  | Inc_after_free
+  | Dec_after_free
+  | Double_free
+  | Negative_count
+  | Freed_referenced of int  (* the nonzero count at free time *)
+
+type rc_violation = { rv_oid : int; rv_label : string; rv_core : int; rv_fault : rc_fault }
+
+(* ------------------------------------------------------------------ *)
+(* Internal state                                                      *)
+
+(* Eraser's per-line state machine: a line is born Virgin, owned by its
+   first core (Exclusive), and only once a second core touches it does the
+   candidate lockset start refining. Races are reported when a line that is
+   written by several cores ends up with an empty candidate set. *)
+type lstate = Virgin | Exclusive of int | Shared | Shared_mod
+
+type line_rec = {
+  lr_label : string;
+  mutable lr_state : lstate;
+  mutable lr_cand : IS.t;
+  mutable lr_readers : IS.t;
+  mutable lr_writers : IS.t;
+  mutable lr_reads : int;
+  mutable lr_writes : int;
+  mutable lr_raced : bool;  (* one report per line *)
+}
+
+type rc_rec = {
+  rr_label : string;
+  mutable rr_count : int;
+  mutable rr_made : bool;  (* saw Rc_make, so rr_count is absolute *)
+  mutable rr_freed : bool;
+}
+
+type t = {
+  machine : Machine.t;
+  lines : (int, line_rec) Hashtbl.t;
+  held : held_lock list array;  (* per core, most recent acquisition first *)
+  edges : (int * int, lock_edge) Hashtbl.t;
+  tlb : (int * int, unit) Hashtbl.t array;
+      (* per core: (asid, vpn) pairs it may cache *)
+  rc : (int, rc_rec) Hashtbl.t;
+  mutable races : race list;
+  mutable tlb_violations : tlb_violation list;
+  mutable rc_violations : rc_violation list;
+  mutable accesses : int;  (* every line access seen (incl. lock traffic) *)
+}
+
+let line_rec t line label =
+  match Hashtbl.find_opt t.lines line with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          lr_label = label;
+          lr_state = Virgin;
+          lr_cand = IS.empty;
+          lr_readers = IS.empty;
+          lr_writers = IS.empty;
+          lr_reads = 0;
+          lr_writes = 0;
+          lr_raced = false;
+        }
+      in
+      Hashtbl.replace t.lines line r;
+      r
+
+(* The lockset protecting an access: read-mode rwlock acquisitions protect
+   only reads (two readers cannot conflict, but a reader does not exclude a
+   writer). *)
+let lockset t ~core ~write =
+  List.fold_left
+    (fun acc h -> if write && h.hl_rd then acc else IS.add h.hl_lock acc)
+    IS.empty t.held.(core)
+
+let note_census r ~core ~write =
+  if write then begin
+    r.lr_writers <- IS.add core r.lr_writers;
+    r.lr_writes <- r.lr_writes + 1
+  end
+  else begin
+    r.lr_readers <- IS.add core r.lr_readers;
+    r.lr_reads <- r.lr_reads + 1
+  end
+
+let note_plain t r ~line ~core ~write =
+  let update_cand () =
+    let ls = lockset t ~core ~write in
+    r.lr_cand <- IS.inter r.lr_cand ls
+  in
+  let report () =
+    if (not r.lr_raced) && IS.is_empty r.lr_cand then begin
+      r.lr_raced <- true;
+      t.races <-
+        {
+          race_line = line;
+          race_label = r.lr_label;
+          race_core = core;
+          race_write = write;
+          race_cores = IS.elements (IS.union r.lr_readers r.lr_writers);
+        }
+        :: t.races
+    end
+  in
+  match r.lr_state with
+  | Virgin -> r.lr_state <- Exclusive core
+  | Exclusive c when c = core -> ()
+  | Exclusive _ ->
+      (* Second core: the candidate set starts as this access's lockset. *)
+      r.lr_cand <- lockset t ~core ~write;
+      if write then begin
+        r.lr_state <- Shared_mod;
+        report ()
+      end
+      else r.lr_state <- Shared
+  | Shared ->
+      update_cand ();
+      if write then begin
+        r.lr_state <- Shared_mod;
+        report ()
+      end
+  | Shared_mod ->
+      update_cand ();
+      report ()
+
+let note_access t ~line ~label ~core ~write kind =
+  t.accesses <- t.accesses + 1;
+  let r = line_rec t line label in
+  note_census r ~core ~write;
+  match kind with
+  | Obs.Plain -> note_plain t r ~line ~core ~write
+  | Obs.Atomic | Obs.Sync -> ()
+
+let note_acquire t ~core ~lock ~line ~label ~rd =
+  t.accesses <- t.accesses + 1;
+  let r = line_rec t line label in
+  note_census r ~core ~write:true;
+  let held = t.held.(core) in
+  (* One edge from the most recently acquired lock still held suffices:
+     a lock below the top of the held list was held when everything above
+     it was acquired, so the cumulative graph always contains a path from
+     every held lock to the top, and the edge to the new lock extends it —
+     reachability, and therefore cycle detection, matches recording an
+     edge from every held lock. That full scheme is quadratic in range
+     width under [Radix.lock_range] (one slot lock per page) and melts
+     down on wide ranges. *)
+  (match held with
+  | h :: _ when h.hl_lock <> lock ->
+      if not (Hashtbl.mem t.edges (h.hl_lock, lock)) then
+        Hashtbl.replace t.edges
+          (h.hl_lock, lock)
+          {
+            e_from = h.hl_lock;
+            e_from_label = h.hl_label;
+            e_to = lock;
+            e_to_label = label;
+            e_core = core;
+            e_held = held;
+          }
+  | _ -> ());
+  t.held.(core) <-
+    { hl_lock = lock; hl_label = label; hl_rd = rd } :: held
+
+let note_release t ~core ~lock ~line ~label =
+  t.accesses <- t.accesses + 1;
+  let r = line_rec t line label in
+  note_census r ~core ~write:true;
+  let rec drop = function
+    | [] -> []  (* release without acquire: tolerated (attached mid-run) *)
+    | h :: rest when h.hl_lock = lock -> rest
+    | h :: rest -> h :: drop rest
+  in
+  t.held.(core) <- drop t.held.(core)
+
+let note_rc t ~core ~oid ~label f =
+  let r =
+    match Hashtbl.find_opt t.rc oid with
+    | Some r -> r
+    | None ->
+        let r =
+          { rr_label = label; rr_count = 0; rr_made = false; rr_freed = false }
+        in
+        Hashtbl.replace t.rc oid r;
+        r
+  in
+  match f r with
+  | None -> ()
+  | Some fault ->
+      t.rc_violations <-
+        { rv_oid = oid; rv_label = r.rr_label; rv_core = core; rv_fault = fault }
+        :: t.rc_violations
+
+let handle t = function
+  | Obs.Read { core; line; label; kind } ->
+      note_access t ~line ~label ~core ~write:false kind
+  | Obs.Write { core; line; label; kind } ->
+      note_access t ~line ~label ~core ~write:true kind
+  | Obs.Acquire { core; lock; line; label; rd } ->
+      note_acquire t ~core ~lock ~line ~label ~rd
+  | Obs.Release { core; lock; line; label; rd = _ } ->
+      note_release t ~core ~lock ~line ~label
+  | Obs.Tlb_fill { core; asid; vpn } ->
+      Hashtbl.replace t.tlb.(core) (asid, vpn) ()
+  | Obs.Tlb_drop { core; asid; vpn } -> Hashtbl.remove t.tlb.(core) (asid, vpn)
+  | Obs.Unmap_done { core; asid; lo; hi } ->
+      (* Staleness is scoped to one address space: another MMU's
+         translation for the same vpn on the same core is unrelated. *)
+      Array.iteri
+        (fun c tbl ->
+          Hashtbl.iter
+            (fun (a, vpn) () ->
+              if a = asid && vpn >= lo && vpn < hi then
+                t.tlb_violations <-
+                  {
+                    tv_unmap_core = core;
+                    tv_asid = asid;
+                    tv_stale_core = c;
+                    tv_vpn = vpn;
+                    tv_lo = lo;
+                    tv_hi = hi;
+                  }
+                  :: t.tlb_violations)
+            tbl)
+        t.tlb
+  | Obs.Rc_make { core; oid; init; label } ->
+      note_rc t ~core ~oid ~label (fun r ->
+          r.rr_count <- init;
+          r.rr_made <- true;
+          r.rr_freed <- false;
+          None)
+  | Obs.Rc_inc { core; oid; label } ->
+      note_rc t ~core ~oid ~label (fun r ->
+          r.rr_count <- r.rr_count + 1;
+          if r.rr_freed then Some Inc_after_free else None)
+  | Obs.Rc_dec { core; oid; label } ->
+      note_rc t ~core ~oid ~label (fun r ->
+          r.rr_count <- r.rr_count - 1;
+          if r.rr_freed then Some Dec_after_free
+          else if r.rr_made && r.rr_count < 0 then Some Negative_count
+          else None)
+  | Obs.Rc_free { core; oid; label } ->
+      note_rc t ~core ~oid ~label (fun r ->
+          if r.rr_freed then Some Double_free
+          else begin
+            r.rr_freed <- true;
+            if r.rr_made && r.rr_count <> 0 then
+              Some (Freed_referenced r.rr_count)
+            else None
+          end)
+
+let attach machine =
+  let ncores = Machine.ncores machine in
+  let t =
+    {
+      machine;
+      lines = Hashtbl.create 4096;
+      held = Array.make ncores [];
+      edges = Hashtbl.create 64;
+      tlb = Array.init ncores (fun _ -> Hashtbl.create 64);
+      rc = Hashtbl.create 1024;
+      races = [];
+      tlb_violations = [];
+      rc_violations = [];
+      accesses = 0;
+    }
+  in
+  Obs.set_sink (Machine.obs machine) (Some (handle t));
+  t
+
+let detach t = Obs.set_sink (Machine.obs t.machine) None
+
+(* Start a fresh measurement window: clear the sharing census and the
+   access counter, keeping every cumulative analysis (race states, lock
+   order, the TLB mirror, the refcount ledger) intact. Called at the same
+   boundary where a benchmark calls [Stats.reset] — node creation and
+   other startup handoffs are excluded from the zero-sharing claim just
+   as they are excluded from the paper's steady-state averages. *)
+let reset_window t =
+  t.accesses <- 0;
+  Hashtbl.iter
+    (fun _ r ->
+      r.lr_readers <- IS.empty;
+      r.lr_writers <- IS.empty;
+      r.lr_reads <- 0;
+      r.lr_writes <- 0)
+    t.lines
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let accesses t = t.accesses
+let races t = List.rev t.races
+let tlb_violations t = List.rev t.tlb_violations
+let rc_violations t = List.rev t.rc_violations
+
+let rc_count t ~oid =
+  match Hashtbl.find_opt t.rc oid with
+  | Some r when r.rr_made -> Some r.rr_count
+  | _ -> None
+
+let line_info line r =
+  {
+    li_line = line;
+    li_label = r.lr_label;
+    li_readers = IS.elements r.lr_readers;
+    li_writers = IS.elements r.lr_writers;
+    li_reads = r.lr_reads;
+    li_writes = r.lr_writes;
+  }
+
+let multi_writer_lines ?(allow = []) t =
+  Hashtbl.fold
+    (fun line r acc ->
+      if IS.cardinal r.lr_writers >= 2 && not (List.mem r.lr_label allow) then
+        line_info line r :: acc
+      else acc)
+    t.lines []
+  |> List.sort (fun a b -> compare a.li_line b.li_line)
+
+type label_census = {
+  lc_label : string;
+  lc_lines : int;
+  lc_multi_writer : int;  (* lines written by >= 2 cores *)
+  lc_reads : int;
+  lc_writes : int;
+  lc_max_writers : int;
+}
+
+let census t =
+  let tbl = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun _ r ->
+      let c =
+        match Hashtbl.find_opt tbl r.lr_label with
+        | Some c -> c
+        | None ->
+            {
+              lc_label = r.lr_label;
+              lc_lines = 0;
+              lc_multi_writer = 0;
+              lc_reads = 0;
+              lc_writes = 0;
+              lc_max_writers = 0;
+            }
+      in
+      let nw = IS.cardinal r.lr_writers in
+      Hashtbl.replace tbl r.lr_label
+        {
+          c with
+          lc_lines = c.lc_lines + 1;
+          lc_multi_writer = c.lc_multi_writer + (if nw >= 2 then 1 else 0);
+          lc_reads = c.lc_reads + r.lr_reads;
+          lc_writes = c.lc_writes + r.lr_writes;
+          lc_max_writers = max c.lc_max_writers nw;
+        })
+    t.lines;
+  Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
+  |> List.sort (fun a b -> compare a.lc_label b.lc_label)
+
+(* Lock-order cycles: Tarjan's SCC over the edge set; every SCC with at
+   least two locks contains a cycle, which we recover with a DFS restricted
+   to that SCC so the report can show each edge's acquisition context. *)
+let cycles t =
+  let adj = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (a, _) e ->
+      Hashtbl.replace adj a
+        (e :: (match Hashtbl.find_opt adj a with Some l -> l | None -> [])))
+    t.edges;
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun e ->
+        let w = e.e_to in
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (match Hashtbl.find_opt adj v with Some l -> l | None -> []);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      let scc = pop [] in
+      if List.length scc >= 2 then sccs := scc :: !sccs
+    end
+  in
+  Hashtbl.iter (fun v _ -> if not (Hashtbl.mem index v) then strongconnect v) adj;
+  (* One representative cycle per SCC. *)
+  List.filter_map
+    (fun scc ->
+      let inside = List.fold_left (fun s v -> IS.add v s) IS.empty scc in
+      let start = List.hd scc in
+      let rec walk v path visited =
+        let outs =
+          match Hashtbl.find_opt adj v with Some l -> l | None -> []
+        in
+        let outs = List.filter (fun e -> IS.mem e.e_to inside) outs in
+        let closing = List.find_opt (fun e -> e.e_to = start) outs in
+        match closing with
+        | Some e when path <> [] || e.e_from <> start ->
+            Some (List.rev (e :: path))
+        | _ ->
+            List.fold_left
+              (fun acc e ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    if IS.mem e.e_to visited then None
+                    else walk e.e_to (e :: path) (IS.add e.e_to visited))
+              None outs
+      in
+      walk start [] (IS.singleton start))
+    !sccs
+
+let ok ?allow t =
+  races t = [] && cycles t = [] && tlb_violations t = []
+  && rc_violations t = []
+  && multi_writer_lines ?allow t = []
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let pp_int_list ppf l =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    l
+
+let pp_race ppf r =
+  Format.fprintf ppf
+    "race: line %d (%s) %s by core %d with empty lockset; cores %a" r.race_line
+    r.race_label
+    (if r.race_write then "written" else "read")
+    r.race_core pp_int_list r.race_cores
+
+let pp_held ppf held =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf h ->
+      Format.fprintf ppf "lock %d (%s%s)" h.hl_lock h.hl_label
+        (if h.hl_rd then ", read-mode" else ""))
+    ppf held
+
+let pp_edge ppf e =
+  Format.fprintf ppf
+    "lock %d (%s) -> lock %d (%s) on core %d holding [%a]" e.e_from
+    e.e_from_label e.e_to e.e_to_label e.e_core pp_held e.e_held
+
+let pp_cycle ppf c =
+  Format.fprintf ppf "lock-order cycle:@,  %a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,  ")
+       pp_edge)
+    c
+
+let pp_tlb_violation ppf v =
+  Format.fprintf ppf
+    "stale TLB: core %d still caches vpn %d of space %d after core %d \
+     unmapped [%d,%d)"
+    v.tv_stale_core v.tv_vpn v.tv_asid v.tv_unmap_core v.tv_lo v.tv_hi
+
+let pp_rc_violation ppf v =
+  let what =
+    match v.rv_fault with
+    | Inc_after_free -> "incremented after free"
+    | Dec_after_free -> "decremented after free"
+    | Double_free -> "freed twice"
+    | Negative_count -> "count went negative"
+    | Freed_referenced n -> Format.asprintf "freed with count %d" n
+  in
+  Format.fprintf ppf "refcount: object %d (%s) %s (on core %d)" v.rv_oid
+    v.rv_label what v.rv_core
+
+let pp_line_info ppf li =
+  Format.fprintf ppf "line %d (%s): writers %a, readers %a, %d w / %d r"
+    li.li_line li.li_label pp_int_list li.li_writers pp_int_list li.li_readers
+    li.li_writes li.li_reads
+
+let pp_census ppf cs =
+  Format.fprintf ppf "@[<v 2>sharing census (per label):";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf
+        "@,%-18s %6d lines, %4d multi-writer (max %d writers), %9d w, %9d r"
+        c.lc_label c.lc_lines c.lc_multi_writer c.lc_max_writers c.lc_writes
+        c.lc_reads)
+    cs;
+  Format.fprintf ppf "@]"
+
+let report ?allow ppf t =
+  let races = races t
+  and cycles = cycles t
+  and tlbv = tlb_violations t
+  and rcv = rc_violations t
+  and mw = multi_writer_lines ?allow t in
+  Format.fprintf ppf "@[<v>check: %d accesses observed@," (accesses t);
+  pp_census ppf (census t);
+  let section name pp l =
+    match l with
+    | [] -> Format.fprintf ppf "@,%s: none" name
+    | l ->
+        Format.fprintf ppf "@,@[<v 2>%s (%d):" name (List.length l);
+        List.iter (fun x -> Format.fprintf ppf "@,%a" pp x) l;
+        Format.fprintf ppf "@]"
+  in
+  section "data races" pp_race races;
+  section "lock-order cycles" pp_cycle cycles;
+  section "stale TLB entries" pp_tlb_violation tlbv;
+  section "refcount violations" pp_rc_violation rcv;
+  section "multi-writer lines outside allowlist" pp_line_info mw;
+  Format.fprintf ppf "@,verdict: %s@]"
+    (if
+       races = [] && cycles = [] && tlbv = [] && rcv = [] && mw = []
+     then "PASS"
+     else "FAIL")
+
+(* The one kind of line RadixVM legitimately writes from several cores in a
+   disjoint-region workload: radix-tree *node* refcount objects. Every
+   core's used-slot deltas flush into the owning node's global count (and
+   take its object lock) at epoch boundaries — that is Refcache working as
+   designed, O(1) writes per epoch, off the operation fast path. Everything
+   else (slot lines, page-table lines, TLB bookkeeping, frame counts,
+   free lists) must stay single-writer. *)
+let radixvm_allow = [ "radix:node" ]

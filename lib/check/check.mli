@@ -1,0 +1,176 @@
+(** Dynamic concurrency checking over the simulator's event stream.
+
+    The simulator is deterministic and every shared-memory access already
+    funnels through {!Ccsim.Line} and {!Ccsim.Lock}; attaching a checker
+    turns each run into a machine-checked proof obligation. Five analyses
+    run simultaneously over one event stream:
+
+    - a {b lockset race detector} (Eraser-style): per-line candidate-lockset
+      intersection across cores; any cross-core access to a write-shared
+      line with an empty lockset is reported. Accesses tagged [Atomic]
+      (modeled cmpxchg / fetch-add protocols) are exempt;
+    - a {b lock-order graph} with cycle detection: acquiring B while
+      holding A adds edge A->B; a cycle is a potential deadlock, reported
+      with the acquisition context of every edge;
+    - a {b zero-sharing verifier}: {!multi_writer_lines} lists every line
+      written by more than one core outside an explicit allowlist, and
+      {!census} breaks sharing down per label — this turns the paper's
+      disjoint-operations claim into a pass/fail check;
+    - a {b TLB coherence checker}: an exact mirror of every core's TLB is
+      maintained from fill/drop events; when a VM emits [Unmap_done] after
+      a shootdown round, no core may still cache a translation for the
+      range;
+    - a {b Refcache invariant checker}: a ledger of every object's count
+      from [Rc_make]/[Rc_inc]/[Rc_dec]/[Rc_free] events; objects must be
+      freed exactly once, at count zero, and never touched after free.
+
+    Attach before the run ([Check.attach machine]), query or
+    [Check.report] after. Detaching restores the zero-cost uninstrumented
+    path. *)
+
+type t
+
+val attach : Ccsim.Machine.t -> t
+(** Install the checker as the machine's event sink. At most one checker
+    can be attached to a machine at a time (a second [attach] replaces the
+    first). *)
+
+val detach : t -> unit
+
+val reset_window : t -> unit
+(** Start a fresh measurement window: clear the sharing census (per-line
+    reader/writer sets and counts) and the {!accesses} counter while
+    keeping every cumulative analysis — race states, the lock-order
+    graph, the TLB mirror, the refcount ledger — intact. Call it exactly
+    where the benchmark calls [Stats.reset] (the warmup/measure
+    boundary): one-time initialization handoffs, such as a radix node
+    being born with its lock bits set by the creating core, are startup
+    effects the paper's steady-state zero-sharing claim excludes. *)
+
+(** {1 Findings} *)
+
+type race = {
+  race_line : int;
+  race_label : string;
+  race_core : int;  (** the core whose access emptied the lockset *)
+  race_write : bool;
+  race_cores : int list;  (** every core that touched the line *)
+}
+
+type held_lock = { hl_lock : int; hl_label : string; hl_rd : bool }
+
+type lock_edge = {
+  e_from : int;
+  e_from_label : string;
+  e_to : int;
+  e_to_label : string;
+  e_core : int;  (** core that acquired [e_to] while holding [e_from] *)
+  e_held : held_lock list;  (** full held stack at that acquisition *)
+}
+
+type cycle = lock_edge list
+(** A closed path in the lock-order graph: each edge's [e_to] is the next
+    edge's [e_from], and the last edge points back at the first. *)
+
+type line_info = {
+  li_line : int;
+  li_label : string;
+  li_readers : int list;
+  li_writers : int list;
+  li_reads : int;
+  li_writes : int;
+}
+
+type tlb_violation = {
+  tv_unmap_core : int;
+  tv_asid : int;  (** the address space the unmap happened in *)
+  tv_stale_core : int;
+  tv_vpn : int;
+  tv_lo : int;
+  tv_hi : int;
+}
+
+type rc_fault =
+  | Inc_after_free
+  | Dec_after_free
+  | Double_free
+  | Negative_count
+  | Freed_referenced of int  (** the nonzero count at free time *)
+
+type rc_violation = {
+  rv_oid : int;
+  rv_label : string;
+  rv_core : int;
+  rv_fault : rc_fault;
+}
+
+type label_census = {
+  lc_label : string;
+  lc_lines : int;
+  lc_multi_writer : int;  (** lines written by >= 2 cores *)
+  lc_reads : int;
+  lc_writes : int;
+  lc_max_writers : int;
+}
+
+(** {1 Queries} *)
+
+val races : t -> race list
+(** Cross-core accesses to write-shared lines with an empty lockset, in
+    discovery order; at most one per line. *)
+
+val cycles : t -> cycle list
+(** One representative cycle per strongly-connected component of the
+    lock-order graph. Empty means the acquisition order is a partial
+    order — no potential deadlock was observed. *)
+
+val multi_writer_lines : ?allow:string list -> t -> line_info list
+(** Lines written by two or more cores whose label is not in [allow]. For
+    a disjoint-region workload on RadixVM this must be empty with
+    [~allow:radixvm_allow] — the paper's zero-sharing claim. *)
+
+val census : t -> label_census list
+(** Per-label sharing summary, sorted by label. *)
+
+val tlb_violations : t -> tlb_violation list
+(** Translations still cached by some core after the range's unmap (and
+    its shootdown round) completed. *)
+
+val rc_violations : t -> rc_violation list
+
+val rc_count : t -> oid:int -> int option
+(** The ledger's current count for object [oid] (as returned by
+    {!Refcnt.Refcache.oid}); [None] if its creation was not observed.
+    Cross-validate against [Refcache.true_count]. *)
+
+val accesses : t -> int
+(** Total line accesses observed — every read, write, and lock operation.
+    Equals the machine's [l1_hits + transfers + dram_fills] accumulated
+    while attached (the checker and the cost model see the same stream). *)
+
+val ok : ?allow:string list -> t -> bool
+(** No races, no lock-order cycles, no stale TLB entries, no refcount
+    violations, and no multi-writer lines outside [allow]. *)
+
+val radixvm_allow : string list
+(** The documented allowlist for RadixVM on disjoint-region workloads:
+    [["radix:node"]]. Radix-tree node {e refcount objects} are the one
+    structure legitimately written from several cores — each core's
+    used-slot deltas flush into the owning node's global count (taking its
+    object lock) at Refcache epoch boundaries. That is O(1) traffic per
+    core per epoch, off the operation fast path, and exactly the sharing
+    the paper's design accepts. Slot lines, page-table lines, frame
+    counts, and free lists must stay single-writer. *)
+
+(** {1 Reporting} *)
+
+val report : ?allow:string list -> Format.formatter -> t -> unit
+(** Human-readable report: access total, per-label census, then each
+    analysis's findings and a PASS/FAIL verdict ([allow] as in
+    {!multi_writer_lines}). *)
+
+val pp_race : Format.formatter -> race -> unit
+val pp_cycle : Format.formatter -> cycle -> unit
+val pp_tlb_violation : Format.formatter -> tlb_violation -> unit
+val pp_rc_violation : Format.formatter -> rc_violation -> unit
+val pp_line_info : Format.formatter -> line_info -> unit

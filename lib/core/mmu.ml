@@ -1,21 +1,24 @@
 open Ccsim
 
 type t = {
-  machine : Machine.t;
+  asid : int;  (* tags this address space's TLB events *)
   pt : Page_table.t;
   tlbs : Tlb.t array;
 }
 
 let create machine kind =
   let params = Machine.params machine in
+  let asid = Obs.fresh_asid () in
   {
-    machine;
+    asid;
     pt = Page_table.create machine kind;
     tlbs =
-      Array.init (Machine.ncores machine) (fun _ ->
-          Tlb.create ~capacity:params.Params.tlb_entries);
+      Array.init (Machine.ncores machine) (fun i ->
+          Tlb.create ~obs:(Machine.obs machine) ~core:i ~asid
+            ~capacity:params.Params.tlb_entries ());
   }
 
+let asid t = t.asid
 let kind t = Page_table.kind t.pt
 let page_table t = t.pt
 

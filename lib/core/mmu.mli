@@ -19,6 +19,12 @@ type translation =
           software protection fault (COW or genuine violation) *)
 
 val create : Ccsim.Machine.t -> Page_table.kind -> t
+
+val asid : t -> int
+(** The address-space id (from {!Ccsim.Obs.fresh_asid}) tagging every TLB
+    event this MMU's per-core TLBs emit; [Unmap_done] emitters must use
+    the same id so the checker scopes staleness to one address space. *)
+
 val kind : t -> Page_table.kind
 val page_table : t -> Page_table.t
 

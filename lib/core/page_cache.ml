@@ -26,7 +26,10 @@ module Make (C : Refcnt.Counter_intf.S) = struct
       csub;
       buckets =
         Array.init nbuckets (fun _ ->
-            { lock = Lock.create core0; entries = Hashtbl.create 8 });
+            {
+              lock = Lock.create ~label:"pagecache:lock" core0;
+              entries = Hashtbl.create 8;
+            });
       resident = 0;
     }
 

@@ -14,7 +14,6 @@ type t = {
   machine : Machine.t;
   maps : (int, pte) Hashtbl.t array;  (* per domain: vpn -> pte *)
   lines : (int, Line.t) Hashtbl.t;  (* (domain, vpn group) -> line *)
-  group_size : int;
 }
 
 let domains_of machine = function
@@ -30,11 +29,6 @@ let create machine kind =
     machine;
     maps = Array.init (domains_of machine kind) (fun _ -> Hashtbl.create 256);
     lines = Hashtbl.create 1024;
-    group_size =
-      (match kind with
-      | Per_core -> 1
-      | Shared -> Machine.ncores machine
-      | Grouped g -> g);
   }
 
 let kind t = t.kind
@@ -54,8 +48,14 @@ let line_for t ~domain ~vpn =
       let nsockets =
         max 1 (params.Params.ncores / params.Params.cores_per_socket)
       in
+      let label =
+        match t.kind with
+        | Per_core -> "pt:percore"
+        | Shared -> "pt:shared"
+        | Grouped _ -> "pt:grouped"
+      in
       let line =
-        Line.create params (Machine.stats t.machine)
+        Line.create ~label params (Machine.stats t.machine)
           ~home_socket:(key mod nsockets)
       in
       Hashtbl.replace t.lines key line;

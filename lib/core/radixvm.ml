@@ -139,6 +139,13 @@ module Make (C : Refcnt.Counter_intf.S) = struct
         if !any_frames then Bitset.union_into ~dst:targets t.ever_active
     | Page_table.Per_core | Page_table.Grouped _ -> ());
     shootdown t core ~lo ~hi targets;
+    (* The range is gone and the shootdown round is over: no core may still
+       cache a translation for [lo, hi). The TLB checker verifies this. *)
+    let obs = Machine.obs t.machine in
+    if Obs.active obs then
+      Obs.emit obs
+        (Obs.Unmap_done
+           { core = core.Core.id; asid = Mmu.asid t.mmu; lo; hi });
     !handles
 
   let drop_handles t core handles =

@@ -16,7 +16,6 @@ and 'v node = {
 }
 
 type 'v t = {
-  machine : Machine.t;
   rc : Refcache.t;
   fanout : int;
   levels : int;
@@ -85,7 +84,7 @@ let alloc_node t (core : Core.t) ~level ~base ~content =
   let nlines = (fanout + spl - 1) / spl in
   let lines =
     Array.init nlines (fun _ ->
-        Line.create core.Core.params core.Core.stats
+        Line.create ~label:"radix:slot" core.Core.params core.Core.stats
           ~home_socket:core.Core.socket)
   in
   let used = match content with Empty -> 0 | Folded _ | Child _ -> fanout in
@@ -93,7 +92,8 @@ let alloc_node t (core : Core.t) ~level ~base ~content =
   let node_ref = ref None in
   let free c = match !node_ref with Some n -> on_node_free t c n | None -> () in
   let obj, weak =
-    Refcache.make_weak_obj t.rc core ~init:(used + anchor) ~free
+    Refcache.make_weak_obj ~label:"radix:node" t.rc core
+      ~init:(used + anchor) ~free
   in
   let node =
     {
@@ -114,7 +114,7 @@ let alloc_node t (core : Core.t) ~level ~base ~content =
   Core.tick core core.Core.params.Params.page_zero;
   node
 
-let create ?(bits = 9) ?(levels = 4) ?(collapse = false) machine rc core =
+let create ?(bits = 9) ?(levels = 4) ?(collapse = false) _machine rc core =
   if bits < 1 || bits > 9 then invalid_arg "Radix.create: bits";
   if levels < 1 then invalid_arg "Radix.create: levels";
   let fanout = 1 lsl bits in
@@ -125,7 +125,6 @@ let create ?(bits = 9) ?(levels = 4) ?(collapse = false) machine rc core =
   in
   let t =
     {
-      machine;
       rc;
       fanout;
       levels;

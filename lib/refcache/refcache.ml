@@ -2,6 +2,7 @@ open Ccsim
 
 type obj = {
   oid : int;
+  label : string;
   refcnt : int Cell.t;  (* the global count, on its own line *)
   lock : Lock.t;
   mutable dirty : bool;  (* global count left zero during this epoch? *)
@@ -21,24 +22,38 @@ type slot = { mutable sobj : obj option; mutable delta : int }
 type percore = { slots : slot array; review : (obj * int) Queue.t }
 
 type t = {
-  machine : Machine.t;
   mask : int;
   percore : percore array;
   mutable global_epoch : int;
   flushed : bool array;
   mutable nflushed : int;
-  mutable next_oid : int;
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
+(* Object ids are process-global (like line and lock ids), not
+   per-instance: a machine can host several Refcache instances (the radix
+   tree's node counts and the VM's frame counts, say) whose [Rc_*] events
+   share one stream, so ids from different instances must never collide. *)
+let next_oid = ref 0
+
+let fresh_oid () =
+  let oid = !next_oid in
+  incr next_oid;
+  oid
+
 let hash_obj t obj = obj.oid * 0x9E3779B1 land t.mask
+
+let emit (core : Core.t) ev =
+  let obs = core.Core.obs in
+  if Obs.active obs then Obs.emit obs ev
 
 let queue_for_review t (core : Core.t) obj =
   obj.dirty <- false;
   (match obj.weak with
   | Some w ->
-      Line.write core w.wline;
+      (* Setting the dying bit is part of the weakref cmpxchg protocol. *)
+      Line.write_atomic core w.wline;
       w.dying <- true
   | None -> ());
   obj.on_review <- true;
@@ -94,8 +109,13 @@ let cached_delta t (core : Core.t) obj d =
   end;
   s.delta <- s.delta + d
 
-let inc t core obj = cached_delta t core obj 1
-let dec t core obj = cached_delta t core obj (-1)
+let inc t (core : Core.t) obj =
+  emit core (Obs.Rc_inc { core = core.Core.id; oid = obj.oid; label = obj.label });
+  cached_delta t core obj 1
+
+let dec t (core : Core.t) obj =
+  emit core (Obs.Rc_dec { core = core.Core.id; oid = obj.oid; label = obj.label });
+  cached_delta t core obj (-1)
 
 (* Process this core's review queue (Figure 2, review). *)
 let review t (core : Core.t) =
@@ -111,7 +131,7 @@ let review t (core : Core.t) =
       if count <> 0 then begin
         (match obj.weak with
         | Some w ->
-            Line.write core w.wline;
+            Line.write_atomic core w.wline;
             w.dying <- false
         | None -> ());
         Lock.release core obj.lock
@@ -125,7 +145,7 @@ let review t (core : Core.t) =
             match obj.weak with
             | None -> true
             | Some w ->
-                Line.write core w.wline;
+                Line.write_atomic core w.wline;
                 if w.dying then begin
                   w.target <- None;
                   w.dying <- false;
@@ -136,6 +156,9 @@ let review t (core : Core.t) =
         if weak_cleared then begin
           obj.freed <- true;
           Lock.release core obj.lock;
+          emit core
+            (Obs.Rc_free
+               { core = core.Core.id; oid = obj.oid; label = obj.label });
           obj.free core
         end
         else begin
@@ -174,7 +197,6 @@ let create ?(cache_slots = 4096) machine =
   let n = Machine.ncores machine in
   let t =
     {
-      machine;
       mask = cache_slots - 1;
       percore =
         Array.init n (fun _ ->
@@ -186,7 +208,6 @@ let create ?(cache_slots = 4096) machine =
       global_epoch = 0;
       flushed = Array.make n false;
       nflushed = 0;
-      next_oid = 0;
     }
   in
   Machine.add_maintenance machine
@@ -194,15 +215,15 @@ let create ?(cache_slots = 4096) machine =
       flush t core);
   t
 
-let make_obj t (core : Core.t) ~init ~free =
+let make_obj ?(label = "refcache:obj") t (core : Core.t) ~init ~free =
   if init < 0 then invalid_arg "Refcache.make_obj: negative count";
-  let oid = t.next_oid in
-  t.next_oid <- oid + 1;
+  let oid = fresh_oid () in
   let obj =
     {
       oid;
-      refcnt = Cell.make core init;
-      lock = Lock.create core;
+      label;
+      refcnt = Cell.make ~label core init;
+      lock = Lock.create ~label core;
       dirty = false;
       on_review = false;
       freed = false;
@@ -210,6 +231,8 @@ let make_obj t (core : Core.t) ~init ~free =
       weak = None;
     }
   in
+  emit core
+    (Obs.Rc_make { core = core.Core.id; oid; init; label });
   if init = 0 then begin
     Lock.acquire core obj.lock;
     queue_for_review t core obj;
@@ -217,8 +240,8 @@ let make_obj t (core : Core.t) ~init ~free =
   end;
   obj
 
-let make_weak_obj t core ~init ~free =
-  let obj = make_obj t core ~init ~free in
+let make_weak_obj ?label t core ~init ~free =
+  let obj = make_obj ?label t core ~init ~free in
   let w = { target = Some obj; dying = false; wline = Cell.line obj.refcnt } in
   obj.weak <- Some w;
   (obj, w)
@@ -229,18 +252,19 @@ let tryget t (core : Core.t) w =
      the dying bit is actually set. Without this, every radix-tree
      traversal would write a shared line per level and lookups could not
      scale. *)
-  Line.read core w.wline;
+  Line.read_atomic core w.wline;
   match w.target with
   | None -> None
   | Some obj ->
       if w.dying then begin
-        Line.write core w.wline;
+        Line.write_atomic core w.wline;
         w.dying <- false
       end;
       inc t core obj;
       Some obj
 
 let is_freed obj = obj.freed
+let oid obj = obj.oid
 
 let true_count t obj =
   let total = ref (Cell.peek obj.refcnt) in

@@ -30,12 +30,15 @@ val create : ?cache_slots:int -> Ccsim.Machine.t -> t
     per-core delta-cache size (default 4096; must be a power of two). *)
 
 val make_obj :
+  ?label:string ->
   t -> Ccsim.Core.t -> init:int -> free:(Ccsim.Core.t -> unit) -> obj
 (** A counted object with initial count [init] (>= 0; an object created at
     0 is immediately eligible for review) whose [free] runs when Refcache
-    decides the true count is zero. *)
+    decides the true count is zero. [label] (default ["refcache:obj"])
+    names the object's lines and count events in checker reports. *)
 
 val make_weak_obj :
+  ?label:string ->
   t -> Ccsim.Core.t -> init:int -> free:(Ccsim.Core.t -> unit) ->
   obj * weakref
 (** As {!make_obj}, with an attached weak reference. *)
@@ -48,6 +51,9 @@ val tryget : t -> Ccsim.Core.t -> weakref -> obj option
     [None] if it has been freed (or is being freed). *)
 
 val is_freed : obj -> bool
+
+val oid : obj -> int
+(** The object id carried by this object's [Rc_*] instrumentation events. *)
 
 val true_count : t -> obj -> int
 (** Global count plus all cached deltas — the count's true value. O(cores);

@@ -18,7 +18,7 @@ type 'v tree =
 
 type 'v t = { root : 'v tree Cell.t }
 
-let create core = { root = Cell.make core Leaf }
+let create core = { root = Cell.make ~label:"bonsai:root" core Leaf }
 
 let tsize = function Leaf -> 0 | Node n -> n.size
 
@@ -30,7 +30,7 @@ let rd core = function
    the write is a core-local fill, no coherence traffic). *)
 let node (core : Core.t) key value left right =
   let line =
-    Line.create core.Core.params core.Core.stats
+    Line.create ~label:"bonsai:node" core.Core.params core.Core.stats
       ~home_socket:core.Core.socket
   in
   Line.write core line;

@@ -3,7 +3,7 @@ open Ccsim
 type color = Red | Black
 
 type 'v node = {
-  mutable key : int;
+  key : int;
   mutable value : 'v option;  (* None only in the nil sentinel *)
   mutable left : 'v node;
   mutable right : 'v node;
@@ -15,7 +15,8 @@ type 'v node = {
 type 'v t = { nil : 'v node; mutable root : 'v node; mutable size : int }
 
 let fresh_line (core : Core.t) =
-  Line.create core.Core.params core.Core.stats ~home_socket:core.Core.socket
+  Line.create ~label:"linux:node" core.Core.params core.Core.stats
+    ~home_socket:core.Core.socket
 
 let rd core (n : 'v node) = Line.read core n.line
 let wr core (n : 'v node) = Line.write core n.line

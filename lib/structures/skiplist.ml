@@ -10,7 +10,8 @@ type 'v node = {
 type 'v t = { head : 'v node; max_level : int; mutable length : int }
 
 let fresh_line (core : Core.t) =
-  Line.create core.Core.params core.Core.stats ~home_socket:core.Core.socket
+  Line.create ~label:"skiplist:node" core.Core.params core.Core.stats
+    ~home_socket:core.Core.socket
 
 let create ?(max_level = 16) core =
   if max_level < 1 then invalid_arg "Skiplist.create";

@@ -8,14 +8,20 @@ type t = {
 
 let create core ~parties =
   if parties <= 0 then invalid_arg "Barrier.create";
-  { parties; count = Cell.make core 0; generation = Cell.make core 0 }
+  {
+    parties;
+    count = Cell.make ~label:"barrier" core 0;
+    generation = Cell.make ~label:"barrier" core 0;
+  }
 
 let arrive core t =
   let gen = Cell.read core t.generation in
   let arrived = Cell.fetch_add core t.count 1 + 1 in
   if arrived = t.parties then begin
-    Cell.write core t.count 0;
-    Cell.write core t.generation (gen + 1)
+    (* The last arriver's reset and generation-publish are release stores
+       in the lock-free protocol, not unprotected plain writes. *)
+    Cell.write_atomic core t.count 0;
+    Cell.write_atomic core t.generation (gen + 1)
   end;
   gen
 

@@ -16,8 +16,14 @@ type result = {
 
 val pp_result : Format.formatter -> result -> unit
 
-module Make (C : Refcnt.Counter_intf.S) : sig
-  val run : ?warmup:int -> ncores:int -> duration:int -> unit -> result
+module Make (_ : Refcnt.Counter_intf.S) : sig
+  val run :
+    ?warmup:int -> ?on_machine:(Ccsim.Machine.t -> unit) ->
+    ?on_measure:(unit -> unit) ->
+    ncores:int -> duration:int -> unit -> result
   (** Fresh machine, [warmup] cycles (default 1M) discarded, then
-      [duration] cycles measured. *)
+      [duration] cycles measured. [on_machine] runs on the fresh machine
+      before the VM is built (used to attach a [Check]); [on_measure]
+      runs right after the warmup-boundary stats reset (used for
+      [Check.reset_window]). *)
 end

@@ -49,7 +49,8 @@ module Make (V : Vm.Vm_intf.S) = struct
     let entries_per_page = Vm.Vm_types.page_size / bytes_per_entry in
     let words_per_worker = total_words / ncores in
     let fresh_line c =
-      Line.create c.Core.params c.Core.stats ~home_socket:c.Core.socket
+      Line.create ~label:"metis" c.Core.params c.Core.stats
+        ~home_socket:c.Core.socket
     in
     let buckets =
       Array.init ncores (fun m ->

@@ -25,10 +25,12 @@ let make_machine ncores =
 
 (* Run the warmup window, discard its counters, then measure the steady
    state over [duration] — the paper reports steady-state averages. *)
-let measure ~warmup ~duration machine (writes : int ref) =
+let measure ~warmup ~duration ~on_measure machine (writes : int ref) =
   Machine.run_for machine ~cycles:warmup;
   let writes0 = !writes in
   Stats.reset (Machine.stats machine);
+  (* Same boundary for an attached checker (Check.reset_window). *)
+  on_measure ();
   Machine.run_for machine ~cycles:(warmup + duration);
   !writes - writes0
 
@@ -57,8 +59,10 @@ module Make (V : Vm.Vm_intf.S) = struct
      neighbouring slots (allocators place per-thread pools far apart). *)
   let local_spacing = 4096
 
-  let local ?(warmup = 4_000_000) ?(region_pages = 1) ~ncores ~duration make_vm =
+  let local ?(warmup = 4_000_000) ?(region_pages = 1) ?(on_machine = ignore)
+      ?(on_measure = ignore) ~ncores ~duration make_vm =
     let machine = make_machine ncores in
+    on_machine machine;
     let vm = make_vm machine in
     let writes = ref 0 in
     for c = 0 to ncores - 1 do
@@ -75,7 +79,7 @@ module Make (V : Vm.Vm_intf.S) = struct
           V.munmap vm core ~vpn ~npages:region_pages;
           true)
     done;
-    let measured = measure ~warmup ~duration machine writes in
+    let measured = measure ~warmup ~duration ~on_measure machine writes in
     finish ~name:"local" ~ncores ~duration machine measured
 
   (* Pipeline: a ring. Each core owns [nbuf] buffer slots in its own part
@@ -84,9 +88,11 @@ module Make (V : Vm.Vm_intf.S) = struct
      its owner through an ack channel. *)
   type pipe_msg = { owner : int; slot : int; vpn : int; pages : int }
 
-  let pipeline ?(warmup = 4_000_000) ?(region_pages = 1) ~ncores ~duration make_vm =
+  let pipeline ?(warmup = 4_000_000) ?(region_pages = 1) ?(on_machine = ignore)
+      ?(on_measure = ignore) ~ncores ~duration make_vm =
     if ncores < 2 then invalid_arg "Microbench.pipeline: needs >= 2 cores";
     let machine = make_machine ncores in
+    on_machine machine;
     let vm = make_vm machine in
     let writes = ref 0 in
     let nbuf = 4 in
@@ -138,7 +144,7 @@ module Make (V : Vm.Vm_intf.S) = struct
               | [] -> Machine.wait_hint machine core));
           true)
     done;
-    let measured = measure ~warmup ~duration machine writes in
+    let measured = measure ~warmup ~duration ~on_measure machine writes in
     finish ~name:"pipeline" ~ncores ~duration machine measured
 
   (* Global: iterate map-slice / write-everything / unmap-slice with
@@ -151,8 +157,10 @@ module Make (V : Vm.Vm_intf.S) = struct
     | Unmapping
     | Waiting_next of int
 
-  let global ?(warmup = 4_000_000) ?(slice_pages = 64) ~ncores ~duration make_vm =
+  let global ?(warmup = 4_000_000) ?(slice_pages = 64) ?(on_machine = ignore)
+      ?(on_measure = ignore) ~ncores ~duration make_vm =
     let machine = make_machine ncores in
+    on_machine machine;
     let vm = make_vm machine in
     let writes = ref 0 in
     let region_base = 0 in
@@ -209,6 +217,6 @@ module Make (V : Vm.Vm_intf.S) = struct
               state := Mapping);
           true)
     done;
-    let measured = measure ~warmup ~duration machine writes in
+    let measured = measure ~warmup ~duration ~on_measure machine writes in
     finish ~name:"global" ~ncores ~duration machine measured
 end

@@ -35,19 +35,30 @@ val pp_result : Format.formatter -> result -> unit
 
 module Make (V : Vm.Vm_intf.S) : sig
   val local :
-    ?warmup:int -> ?region_pages:int -> ncores:int -> duration:int ->
+    ?warmup:int -> ?region_pages:int -> ?on_machine:(Ccsim.Machine.t -> unit) ->
+    ?on_measure:(unit -> unit) ->
+    ncores:int -> duration:int ->
     (Ccsim.Machine.t -> V.t) -> result
   (** [local ~ncores ~duration make_vm] builds a fresh machine with
       [ncores] cores and the VM via [make_vm], runs [warmup] cycles
       (default 4M) to reach steady state — initial radix expansion and the
       first Refcache epochs are startup effects the paper's steady-state
-      averages exclude — then measures for [duration] cycles. *)
+      averages exclude — then measures for [duration] cycles.
+      [on_machine] runs on the fresh machine before the VM is built —
+      the hook used to attach a [Check] instance; [on_measure] runs at
+      the warmup/measure boundary, right after the stats reset (the hook
+      for [Check.reset_window], so sharing is judged over the same
+      steady-state window as the cost model's counters). *)
 
   val pipeline :
-    ?warmup:int -> ?region_pages:int -> ncores:int -> duration:int ->
+    ?warmup:int -> ?region_pages:int -> ?on_machine:(Ccsim.Machine.t -> unit) ->
+    ?on_measure:(unit -> unit) ->
+    ncores:int -> duration:int ->
     (Ccsim.Machine.t -> V.t) -> result
 
   val global :
-    ?warmup:int -> ?slice_pages:int -> ncores:int -> duration:int ->
+    ?warmup:int -> ?slice_pages:int -> ?on_machine:(Ccsim.Machine.t -> unit) ->
+    ?on_measure:(unit -> unit) ->
+    ncores:int -> duration:int ->
     (Ccsim.Machine.t -> V.t) -> result
 end

@@ -202,7 +202,7 @@ let test_rwlock_writer_blocks_readers () =
 let pfn_of = function Some e -> Some e.Tlb.pfn | None -> None
 
 let test_tlb_basic () =
-  let t = Tlb.create ~capacity:4 in
+  let t = Tlb.create ~capacity:4 () in
   Tlb.insert t ~vpn:1 ~pfn:100 ~writable:true;
   Tlb.insert t ~vpn:2 ~pfn:200 ~writable:false;
   Alcotest.(check (option int)) "hit" (Some 100) (pfn_of (Tlb.lookup t 1));
@@ -214,7 +214,7 @@ let test_tlb_basic () =
   Alcotest.(check (option int)) "invalidated" None (pfn_of (Tlb.lookup t 1))
 
 let test_tlb_capacity_fifo () =
-  let t = Tlb.create ~capacity:3 in
+  let t = Tlb.create ~capacity:3 () in
   for v = 1 to 3 do
     Tlb.insert t ~vpn:v ~pfn:v ~writable:true
   done;
@@ -224,7 +224,7 @@ let test_tlb_capacity_fifo () =
   Alcotest.(check (option int)) "newest present" (Some 4) (pfn_of (Tlb.lookup t 4))
 
 let test_tlb_range_and_flush () =
-  let t = Tlb.create ~capacity:16 in
+  let t = Tlb.create ~capacity:16 () in
   for v = 0 to 9 do
     Tlb.insert t ~vpn:v ~pfn:v ~writable:true
   done;
@@ -236,7 +236,7 @@ let test_tlb_range_and_flush () =
   Alcotest.(check int) "flushed" 0 (Tlb.size t)
 
 let test_tlb_reinsert_after_evict () =
-  let t = Tlb.create ~capacity:2 in
+  let t = Tlb.create ~capacity:2 () in
   Tlb.insert t ~vpn:1 ~pfn:1 ~writable:true;
   Tlb.insert t ~vpn:1 ~pfn:5 ~writable:true;
   Alcotest.(check (option int)) "replaced" (Some 5) (pfn_of (Tlb.lookup t 1));
@@ -418,6 +418,40 @@ let test_channel_fifo () =
   Alcotest.(check (option int)) "second" (Some 2) (Channel.recv b ch)
 
 (* ------------------------------------------------------------------ *)
+(* Stats conservation: every charged access lands in exactly one of the
+   four coherence counters, and the checker sees exactly one event for
+   it, so the counter sum must equal the checker's access count. *)
+
+let test_stats_conservation () =
+  let m = machine ~ncores:4 () in
+  let chk = Check.attach m in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  let l = Line.create ~label:"t" a.Core.params a.Core.stats ~home_socket:0 in
+  let c = Cell.make a 0 in
+  let lk = Lock.create a in
+  (* A hand-picked mix: DRAM fills, local/remote transfers, L1 hits,
+     atomics, and lock traffic (whose internal write is quiet but whose
+     acquire/release events stand in for it one-for-one). *)
+  Line.read a l;
+  Line.read a l;
+  Line.write b l;
+  Line.read a l;
+  Line.write_atomic a l;
+  Cell.write a c 1;
+  ignore (Cell.read b c);
+  ignore (Cell.fetch_add b c 1);
+  Lock.acquire a lk;
+  Lock.release a lk;
+  Lock.acquire b lk;
+  Lock.release b lk;
+  let s = Machine.stats m in
+  Alcotest.(check int) "sum of coherence counters = observed accesses"
+    (Check.accesses chk)
+    (s.Stats.l1_hits + s.Stats.transfers_local + s.Stats.transfers_remote
+   + s.Stats.dram_fills);
+  Alcotest.(check bool) "nonzero work" true (Check.accesses chk > 0)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let tc = Alcotest.test_case in
@@ -472,6 +506,8 @@ let () =
           tc "sender serial" `Quick test_ipi_sender_serial_per_target;
           tc "self skip" `Quick test_ipi_self_skip;
         ] );
+      ( "conservation",
+        [ tc "counters sum to accesses" `Quick test_stats_conservation ] );
       ( "channel",
         [
           tc "delivery time" `Quick test_channel_delivery_time;

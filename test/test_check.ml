@@ -1,0 +1,412 @@
+(* Tests for the Check library (dynamic race / invariant checking).
+
+   Two halves:
+
+   - "fixtures": known-bad programs, each of which must trip exactly the
+     analysis aimed at it (lockset race, lock-order cycle, stale TLB after
+     a buggy unmap, Refcache misuse) — and the corresponding correct
+     program, which must stay silent. These prove the detectors actually
+     fire.
+
+   - acceptance: the checker attached to real workloads. On RadixVM the
+     disjoint-region microbenchmark must show *zero* multi-writer lines
+     outside the documented allowlist (the paper's central claim, now a
+     pass/fail test); the Linux-like and Bonsai baselines must show
+     non-zero sharing on the very same workload. Plus conservation: the
+     checker's event count must equal the cost model's access count. *)
+
+open Ccsim
+module Radixvm = Vm.Radixvm.Default
+module MB = Workloads.Microbench.Make (Vm.Radixvm.Default)
+module MB_linux = Workloads.Microbench.Make (Baselines.Linux_vm)
+module MB_bonsai = Workloads.Microbench.Make (Baselines.Bonsai_vm)
+module Refcache = Refcnt.Refcache
+
+let quick_micro = 300_000
+let quick_warmup = 600_000
+
+let machine ?(ncores = 2) ?epoch_cycles () =
+  Machine.create (Params.default ~ncores ?epoch_cycles ())
+
+(* ------------------------------------------------------------------ *)
+(* Known-bad fixtures                                                  *)
+
+(* Two cores increment a shared counter with plain read-modify-write and
+   no lock: the classic data race. *)
+let test_race_fires () =
+  let m = machine () in
+  let chk = Check.attach m in
+  let c0 = Machine.core m 0 in
+  let counter = Cell.make ~label:"fixture:racy" c0 0 in
+  for c = 0 to 1 do
+    let core = Machine.core m c in
+    let n = ref 0 in
+    Machine.set_workload m c (fun () ->
+        Cell.write core counter (Cell.read core counter + 1);
+        incr n;
+        !n < 100)
+  done;
+  Machine.run m;
+  (match Check.races chk with
+  | [ r ] ->
+      Alcotest.(check string) "labeled" "fixture:racy" r.Check.race_label;
+      Alcotest.(check (list int)) "both cores implicated" [ 0; 1 ]
+        r.Check.race_cores
+  | rs -> Alcotest.failf "expected exactly one race, got %d" (List.length rs));
+  Alcotest.(check bool) "verdict fails" false (Check.ok chk)
+
+(* The same counter protected by a lock: the detector must stay silent
+   (lockset refinement, not mere cross-core detection). *)
+let test_race_silent_under_lock () =
+  let m = machine () in
+  let chk = Check.attach m in
+  let c0 = Machine.core m 0 in
+  let counter = Cell.make ~label:"fixture:locked" c0 0 in
+  let lock = Lock.create ~label:"fixture:lock" c0 in
+  for c = 0 to 1 do
+    let core = Machine.core m c in
+    let n = ref 0 in
+    Machine.set_workload m c (fun () ->
+        Lock.acquire core lock;
+        Cell.write core counter (Cell.read core counter + 1);
+        Lock.release core lock;
+        incr n;
+        !n < 100)
+  done;
+  Machine.run m;
+  Alcotest.(check int) "no races" 0 (List.length (Check.races chk));
+  Alcotest.(check int) "no cycles" 0 (List.length (Check.cycles chk))
+
+(* Core 0 acquires A then B; core 1 acquires B then A. No deadlock occurs
+   in the (atomic-step) run, but the lock-order graph has an A<->B cycle —
+   the latent deadlock the analysis exists to catch. *)
+let test_lock_order_cycle_fires () =
+  let m = machine () in
+  let chk = Check.attach m in
+  let c0 = Machine.core m 0 in
+  let a = Lock.create ~label:"fixture:A" c0 in
+  let b = Lock.create ~label:"fixture:B" c0 in
+  let step core first second () =
+    Lock.acquire core first;
+    Lock.acquire core second;
+    Lock.release core second;
+    Lock.release core first;
+    false
+  in
+  Machine.set_workload m 0 (step (Machine.core m 0) a b);
+  Machine.set_workload m 1 (step (Machine.core m 1) b a);
+  Machine.run m;
+  (match Check.cycles chk with
+  | [ cyc ] ->
+      Alcotest.(check int) "two edges" 2 (List.length cyc);
+      List.iter
+        (fun (e : Check.lock_edge) ->
+          Alcotest.(check bool) "acquisition context recorded" true
+            (e.Check.e_held <> []))
+        cyc
+  | cs -> Alcotest.failf "expected one cycle, got %d" (List.length cs));
+  Alcotest.(check bool) "verdict fails" false (Check.ok chk)
+
+(* Both cores acquire in the same order: a partial order, no cycle. *)
+let test_lock_order_silent_when_consistent () =
+  let m = machine () in
+  let chk = Check.attach m in
+  let c0 = Machine.core m 0 in
+  let a = Lock.create ~label:"fixture:A" c0 in
+  let b = Lock.create ~label:"fixture:B" c0 in
+  for c = 0 to 1 do
+    let core = Machine.core m c in
+    Machine.set_workload m c (fun () ->
+        Lock.acquire core a;
+        Lock.acquire core b;
+        Lock.release core b;
+        Lock.release core a;
+        false)
+  done;
+  Machine.run m;
+  Alcotest.(check int) "no cycles" 0 (List.length (Check.cycles chk))
+
+(* A buggy VM that "unmaps" by clearing only its own core's page table
+   and TLB — the stale-TLB window every shootdown protocol exists to
+   close. The checker's TLB mirror must catch core 1's surviving
+   translation the moment the unmap declares itself done. *)
+let test_stale_tlb_fires () =
+  let m = machine () in
+  let chk = Check.attach m in
+  let mmu = Vm.Mmu.create m Vm.Page_table.Per_core in
+  let c0 = Machine.core m 0 and c1 = Machine.core m 1 in
+  let pfn = Physmem.alloc (Machine.physmem m) c0 in
+  Vm.Mmu.install mmu c0 ~vpn:100 ~pfn ~writable:true;
+  Vm.Mmu.install mmu c1 ~vpn:100 ~pfn ~writable:true;
+  let asid = Vm.Mmu.asid mmu in
+  (* Bug: no shootdown round — only the unmapping core is cleaned. *)
+  ignore (Vm.Mmu.drop_for_core mmu ~owner:0 ~lo:100 ~hi:101);
+  Obs.emit (Machine.obs m)
+    (Obs.Unmap_done { core = 0; asid; lo = 100; hi = 101 });
+  (match Check.tlb_violations chk with
+  | [ v ] ->
+      Alcotest.(check int) "stale core" 1 v.Check.tv_stale_core;
+      Alcotest.(check int) "stale vpn" 100 v.Check.tv_vpn;
+      Alcotest.(check int) "unmapping core" 0 v.Check.tv_unmap_core
+  | vs ->
+      Alcotest.failf "expected one stale-TLB violation, got %d"
+        (List.length vs));
+  (* The correct protocol — clear every core that may cache the range —
+     adds no further violation. *)
+  ignore (Vm.Mmu.drop_for_core mmu ~owner:1 ~lo:100 ~hi:101);
+  Obs.emit (Machine.obs m)
+    (Obs.Unmap_done { core = 0; asid; lo = 100; hi = 101 });
+  Alcotest.(check int) "clean after full shootdown" 1
+    (List.length (Check.tlb_violations chk))
+
+(* Hand-written bad reference-count traces (the real Refcache is correct,
+   so the broken protocols are injected directly into the event stream). *)
+let test_rc_violations_fire () =
+  let m = machine () in
+  let chk = Check.attach m in
+  let obs = Machine.obs m in
+  let lbl = "fixture:rc" in
+  (* Freed while the count is still 2: a premature free. *)
+  Obs.emit obs (Obs.Rc_make { core = 0; oid = 9001; init = 2; label = lbl });
+  Obs.emit obs (Obs.Rc_free { core = 0; oid = 9001; label = lbl });
+  (* A legitimate free, followed by double free and use-after-free. *)
+  Obs.emit obs (Obs.Rc_make { core = 0; oid = 9002; init = 1; label = lbl });
+  Obs.emit obs (Obs.Rc_dec { core = 1; oid = 9002; label = lbl });
+  Obs.emit obs (Obs.Rc_free { core = 1; oid = 9002; label = lbl });
+  Obs.emit obs (Obs.Rc_free { core = 0; oid = 9002; label = lbl });
+  Obs.emit obs (Obs.Rc_inc { core = 0; oid = 9002; label = lbl });
+  Obs.emit obs (Obs.Rc_dec { core = 0; oid = 9002; label = lbl });
+  (* Count driven below zero. *)
+  Obs.emit obs (Obs.Rc_make { core = 1; oid = 9003; init = 0; label = lbl });
+  Obs.emit obs (Obs.Rc_dec { core = 1; oid = 9003; label = lbl });
+  let faults =
+    List.map (fun (v : Check.rc_violation) -> v.Check.rv_fault)
+      (Check.rc_violations chk)
+  in
+  let has f = List.mem f faults in
+  Alcotest.(check bool) "freed while referenced" true
+    (has (Check.Freed_referenced 2));
+  Alcotest.(check bool) "double free" true (has Check.Double_free);
+  Alcotest.(check bool) "inc after free" true (has Check.Inc_after_free);
+  Alcotest.(check bool) "dec after free" true (has Check.Dec_after_free);
+  Alcotest.(check bool) "negative count" true (has Check.Negative_count);
+  Alcotest.(check int) "exactly the five injected faults" 5
+    (List.length faults)
+
+(* ------------------------------------------------------------------ *)
+(* Checker mechanics                                                   *)
+
+let test_detach_stops_observation () =
+  let m = machine () in
+  let chk = Check.attach m in
+  let c0 = Machine.core m 0 in
+  let cell = Cell.make ~label:"fixture:detach" c0 0 in
+  Cell.write c0 cell 1;
+  let n = Check.accesses chk in
+  Alcotest.(check bool) "saw the write" true (n > 0);
+  Check.detach chk;
+  Cell.write c0 cell 2;
+  Alcotest.(check int) "silent after detach" n (Check.accesses chk)
+
+(* The ledger maintained from Rc_* events must agree with Refcache's own
+   true count at every step, and a full lifecycle of a real Refcache
+   object must produce zero violations. *)
+let test_refcache_ledger_matches () =
+  let m = machine ~epoch_cycles:10_000 () in
+  let chk = Check.attach m in
+  let rc = Refcache.create m in
+  let c0 = Machine.core m 0 and c1 = Machine.core m 1 in
+  let freed = ref 0 in
+  let obj =
+    Refcache.make_obj ~label:"fixture:obj" rc c0 ~init:1 ~free:(fun _ ->
+        incr freed)
+  in
+  let oid = Refcache.oid obj in
+  let agree msg =
+    Alcotest.(check (option int))
+      msg
+      (Some (Refcache.true_count rc obj))
+      (Check.rc_count chk ~oid)
+  in
+  agree "after make";
+  Refcache.inc rc c1 obj;
+  agree "after cross-core inc";
+  Refcache.dec rc c0 obj;
+  agree "after dec";
+  Refcache.dec rc c1 obj;
+  agree "at zero";
+  Machine.drain m ~cycles:100_000;
+  Alcotest.(check int) "freed exactly once" 1 !freed;
+  Alcotest.(check (option int)) "ledger at zero" (Some 0)
+    (Check.rc_count chk ~oid);
+  Alcotest.(check int) "no violations over a correct lifecycle" 0
+    (List.length (Check.rc_violations chk))
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: real workloads                                          *)
+
+let get = function
+  | Some chk -> chk
+  | None -> Alcotest.fail "checker was not attached"
+
+(* RadixVM on the disjoint-region microbenchmark: the paper's claim is
+   that steady-state operations on disjoint regions access *no* shared
+   cache lines. With the checker attached the claim becomes a test: over
+   the measured window (sharing census reset at the warmup boundary,
+   like the stats — node creation is a one-time handoff the steady-state
+   claim excludes), no multi-writer line outside the documented
+   allowlist; and over the whole run, no races, no stale TLB entries, no
+   refcount violations, no lock-order cycles. *)
+let test_radixvm_local_zero_sharing () =
+  let chk = ref None in
+  ignore
+    (MB.local ~warmup:quick_warmup ~ncores:8 ~duration:quick_micro
+       ~on_machine:(fun m -> chk := Some (Check.attach m))
+       ~on_measure:(fun () -> Check.reset_window (get !chk))
+       Radixvm.create);
+  let chk = get !chk in
+  Alcotest.(check bool) "events observed" true (Check.accesses chk > 0);
+  (match Check.multi_writer_lines ~allow:Check.radixvm_allow chk with
+  | [] -> ()
+  | ls ->
+      Alcotest.failf "lines written by several cores:@ %a"
+        (Format.pp_print_list Check.pp_line_info)
+        ls);
+  Alcotest.(check int) "no races" 0 (List.length (Check.races chk));
+  Alcotest.(check int) "no lock-order cycles" 0
+    (List.length (Check.cycles chk));
+  Alcotest.(check int) "no stale TLB entries" 0
+    (List.length (Check.tlb_violations chk));
+  Alcotest.(check int) "no refcount violations" 0
+    (List.length (Check.rc_violations chk));
+  Alcotest.(check bool) "verdict passes" true
+    (Check.ok ~allow:Check.radixvm_allow chk)
+
+(* A longer scripted RadixVM run with short epochs, so Refcache actually
+   flushes and frees during the measured window. The allowlist must then
+   be non-vacuous: epoch flushes write the shared interior nodes' counts
+   from several cores ("radix:node"), and nothing else may be shared.
+   This run also pins down conservation: the checker sees exactly the
+   accesses the cost model charged, and shootdown rounds never target
+   more cores than were interrupted. *)
+let test_radixvm_scripted_epochs_and_conservation () =
+  let ncores = 4 in
+  let m = machine ~ncores ~epoch_cycles:10_000 () in
+  let chk = Check.attach m in
+  let vm = Radixvm.create m in
+  let iters = ref 0 in
+  for c = 0 to ncores - 1 do
+    let core = Machine.core m c in
+    let vpn = c * 4096 in
+    let n = ref 0 in
+    Machine.set_workload m c (fun () ->
+        Radixvm.mmap vm core ~vpn ~npages:2 ();
+        (match Radixvm.touch vm core ~vpn with
+        | Vm.Vm_types.Ok -> ()
+        | Vm.Vm_types.Segfault -> Alcotest.fail "unexpected segfault");
+        ignore (Radixvm.touch vm core ~vpn:(vpn + 1));
+        Radixvm.munmap vm core ~vpn ~npages:2;
+        incr n;
+        incr iters;
+        !n < 200)
+  done;
+  (* Warmup phase: initial radix expansion (nodes are born with their
+     lock bits held by the creating core — a one-time handoff). Then a
+     fresh window for both the stats and the sharing census. *)
+  Machine.run_for m ~cycles:50_000;
+  Stats.reset (Machine.stats m);
+  Check.reset_window chk;
+  Machine.run m;
+  Machine.drain m ~cycles:100_000;
+  Alcotest.(check bool) "workload actually ran" true (!iters >= 200);
+  (* Zero sharing, with the allowlist demonstrably needed. *)
+  (match Check.multi_writer_lines ~allow:Check.radixvm_allow chk with
+  | [] -> ()
+  | ls ->
+      Alcotest.failf "lines written by several cores:@ %a"
+        (Format.pp_print_list Check.pp_line_info)
+        ls);
+  let node_census =
+    List.find_opt
+      (fun (c : Check.label_census) -> c.Check.lc_label = "radix:node")
+      (Check.census chk)
+  in
+  (match node_census with
+  | Some c ->
+      Alcotest.(check bool) "epoch flushes shared the node counts" true
+        (c.Check.lc_multi_writer >= 1)
+  | None -> Alcotest.fail "no radix:node lines observed");
+  Alcotest.(check int) "no races" 0 (List.length (Check.races chk));
+  Alcotest.(check int) "no stale TLB entries" 0
+    (List.length (Check.tlb_violations chk));
+  Alcotest.(check int) "no refcount violations" 0
+    (List.length (Check.rc_violations chk));
+  (* Conservation: one event per charged access, no more, no less. *)
+  let s = Machine.stats m in
+  Alcotest.(check int) "event stream = cost model"
+    (s.Stats.l1_hits + s.Stats.transfers_local + s.Stats.transfers_remote
+   + s.Stats.dram_fills)
+    (Check.accesses chk);
+  Alcotest.(check bool) "targets >= shootdown rounds" true
+    (s.Stats.shootdown_targets >= s.Stats.shootdown_events)
+
+(* The baselines run the identical disjoint workload and must show real
+   sharing — otherwise the zero-sharing verifier proves nothing. *)
+let baseline_shares name run expect_label =
+  let chk = ref None in
+  ignore (run (fun m -> chk := Some (Check.attach m)));
+  let chk = get !chk in
+  let shared = Check.multi_writer_lines chk in
+  Alcotest.(check bool) (name ^ " shares lines") true (shared <> []);
+  Alcotest.(check bool)
+    (name ^ " shares " ^ expect_label)
+    true
+    (List.exists
+       (fun (li : Check.line_info) -> li.Check.li_label = expect_label)
+       shared)
+
+let test_linux_local_shares () =
+  baseline_shares "linux"
+    (fun on_machine ->
+      MB_linux.local ~warmup:quick_warmup ~ncores:8 ~duration:quick_micro
+        ~on_machine Baselines.Linux_vm.create)
+    "linux:aslock"
+
+let test_bonsai_local_shares () =
+  baseline_shares "bonsai"
+    (fun on_machine ->
+      MB_bonsai.local ~warmup:quick_warmup ~ncores:8 ~duration:quick_micro
+        ~on_machine Baselines.Bonsai_vm.create)
+    "bonsai:aslock"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "check"
+    [
+      ( "fixtures",
+        [
+          tc "racy counter detected" `Quick test_race_fires;
+          tc "locked counter silent" `Quick test_race_silent_under_lock;
+          tc "AB/BA cycle detected" `Quick test_lock_order_cycle_fires;
+          tc "consistent order silent" `Quick
+            test_lock_order_silent_when_consistent;
+          tc "stale TLB detected" `Quick test_stale_tlb_fires;
+          tc "refcount misuse detected" `Quick test_rc_violations_fire;
+        ] );
+      ( "mechanics",
+        [
+          tc "detach stops observation" `Quick test_detach_stops_observation;
+          tc "ledger matches refcache" `Quick test_refcache_ledger_matches;
+        ] );
+      ( "acceptance",
+        [
+          tc "radixvm local: zero sharing" `Quick
+            test_radixvm_local_zero_sharing;
+          tc "radixvm scripted: epochs + conservation" `Quick
+            test_radixvm_scripted_epochs_and_conservation;
+          tc "linux local: shares" `Quick test_linux_local_shares;
+          tc "bonsai local: shares" `Quick test_bonsai_local_shares;
+        ] );
+    ]

@@ -5,8 +5,31 @@ module Refcache = Refcnt.Refcache
 
 let epoch = 10_000
 
+(* Every machine in this file runs with the dynamic checker attached;
+   a final test asserts the cumulative TLB-coherence and refcount
+   analyses stayed clean across everything the suite did. *)
+let checked : Check.t list ref = ref []
+
 let machine ?(ncores = 4) () =
-  Machine.create (Params.default ~ncores ~epoch_cycles:epoch ())
+  let m = Machine.create (Params.default ~ncores ~epoch_cycles:epoch ()) in
+  checked := Check.attach m :: !checked;
+  m
+
+let test_checker_clean () =
+  Alcotest.(check bool) "checkers attached" true (!checked <> []);
+  List.iter
+    (fun chk ->
+      List.iter
+        (fun v -> Format.eprintf "%a@." Check.pp_tlb_violation v)
+        (Check.tlb_violations chk);
+      List.iter
+        (fun v -> Format.eprintf "%a@." Check.pp_rc_violation v)
+        (Check.rc_violations chk);
+      Alcotest.(check int) "no stale TLB entries" 0
+        (List.length (Check.tlb_violations chk));
+      Alcotest.(check int) "no refcount violations" 0
+        (List.length (Check.rc_violations chk)))
+    !checked
 
 let drain_epochs m n = Machine.drain m ~cycles:(n * epoch)
 
@@ -347,4 +370,6 @@ let () =
           tc "space claims" `Quick test_space_claims;
           tc "shared counter contention" `Quick test_shared_counter_contention_visible;
         ] );
+      ( "checker",
+        [ tc "no TLB or refcount violations anywhere" `Quick test_checker_clean ] );
     ]
