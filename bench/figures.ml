@@ -1,0 +1,1105 @@
+(* Figure drivers for the paper's evaluation (section 5), refactored from
+   print-as-you-go to build-rows-then-render: every figure first describes
+   its sweep as a list of independent [(name, config) -> row] jobs, runs
+   them on a {!Harness.Pool} (each job builds its own simulated machine,
+   so jobs are deterministic and mutually independent), then renders the
+   human-readable table from the ordered rows *and* returns a
+   machine-readable JSON artifact. Result ordering is submission order
+   regardless of worker count, so tables and artifacts are byte-identical
+   for any [--jobs]. *)
+
+module Json = Harness.Json
+module Pool = Harness.Pool
+module Radixvm = Vm.Radixvm.Default
+module MB_radix = Workloads.Microbench.Make (Vm.Radixvm.Default)
+module MB_linux = Workloads.Microbench.Make (Baselines.Linux_vm)
+module MB_bonsai = Workloads.Microbench.Make (Baselines.Bonsai_vm)
+module Metis_radix = Workloads.Metis.Make (Vm.Radixvm.Default)
+module Metis_linux = Workloads.Metis.Make (Baselines.Linux_vm)
+module Metis_bonsai = Workloads.Metis.Make (Baselines.Bonsai_vm)
+module CB_refcache = Workloads.Counter_bench.Make (Refcnt.Refcache_counter)
+module CB_shared = Workloads.Counter_bench.Make (Refcnt.Shared_counter)
+module CB_snzi = Workloads.Counter_bench.Make (Refcnt.Snzi)
+module CB_dist = Workloads.Counter_bench.Make (Refcnt.Distributed_counter)
+
+type ctx = {
+  quick : bool;  (* shrink sweeps for smoke testing *)
+  check : bool;  (* attach the dynamic checker to instrumented runs *)
+  jobs : int;  (* worker domains; 1 = serial *)
+  ppf : Format.formatter;  (* table output; jobs themselves never print *)
+}
+
+let default_ctx =
+  { quick = false; check = false; jobs = 1; ppf = Format.std_formatter }
+
+type output = {
+  json : Json.t;  (* the BENCH_<target>.json payload *)
+  checks : (string * bool) list;  (* checker verdicts, in job order *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Sweep parameters (unchanged from the serial harness)                *)
+
+let core_counts ctx = if ctx.quick then [ 1; 4; 16 ] else [ 1; 10; 20; 40; 60; 80 ]
+let micro_duration ctx = if ctx.quick then 400_000 else 2_000_000
+
+(* The global benchmark's iteration (every core writes every page, then a
+   machine-wide shootdown storm) grows with core count; size its windows
+   so several iterations fit. *)
+let global_duration ctx n =
+  if ctx.quick then 2_000_000 else max 8_000_000 (n * 500_000)
+
+(* Startup transients (initial radix expansion, first Refcache epochs,
+   channel priming) lengthen with core count; warm up accordingly. *)
+let micro_warmup ctx n = if ctx.quick then 1_000_000 else max 4_000_000 (n * 150_000)
+let index_duration ctx = if ctx.quick then 200_000 else 800_000
+let counter_duration ctx = if ctx.quick then 200_000 else 1_000_000
+let metis_words ctx = if ctx.quick then 40_000 else 400_000
+
+(* ------------------------------------------------------------------ *)
+(* Rendering helpers                                                   *)
+
+let header ctx title =
+  Format.fprintf ctx.ppf "\n================ %s ================\n" title;
+  Format.pp_print_flush ctx.ppf ()
+
+let row_header ctx name cols =
+  Format.fprintf ctx.ppf "%-24s" name;
+  List.iter (fun c -> Format.fprintf ctx.ppf "%14s" c) cols;
+  Format.pp_print_newline ctx.ppf ()
+
+let row ctx name cells =
+  Format.fprintf ctx.ppf "%-24s" name;
+  List.iter (fun v -> Format.fprintf ctx.ppf "%14s" v) cells;
+  Format.pp_print_newline ctx.ppf ();
+  Format.pp_print_flush ctx.ppf ()
+
+let k v =
+  if v >= 1e9 then Printf.sprintf "%.2fG" (v /. 1e9)
+  else if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
+  else Printf.sprintf "%.0f" v
+
+let report_checks ctx checks =
+  if ctx.check then begin
+    let total = List.length checks in
+    let bad = List.filter (fun (_, ok) -> not ok) checks in
+    Format.fprintf ctx.ppf
+      "\ncheck: %d instrumented runs, %d clean, %d with findings\n" total
+      (total - List.length bad)
+      (List.length bad);
+    List.iter (fun (n, _) -> Format.fprintf ctx.ppf "  findings: %s\n" n) bad;
+    Format.pp_print_flush ctx.ppf ()
+  end
+
+(* Each instrumented run carries its verdict in its own row (rather than
+   pushing onto a process-global list), so `--check` output is identical
+   under any `--jobs N`: verdicts aggregate in job-submission order.
+
+   The verdict asserts what the run actually claims. Lock-order cycles,
+   stale TLB entries and refcount faults are hard invariants for every
+   system on every workload. Race reports are filtered through
+   [race_allow], the per-system list of line labels whose concurrency
+   discipline the line-granular lockset analysis cannot express: the
+   baselines' shared page table and Bonsai's RCU-style root are written
+   or read lock-free by design (that sharing IS the figure), and RadixVM
+   interior nodes pack eight per-slot lock bits onto one line, so two
+   cores writing different slots under their own locks empty the line's
+   lockset even though the words are disjoint (word-granular Eraser
+   would not flag it). Any race outside that list fails the verdict.
+   The zero-sharing census is additionally asserted only where the
+   paper claims it ([zero_sharing]): RadixVM with per-core page tables
+   on the disjoint-region (local) benchmark — pipeline/global share the
+   region's pages by design. *)
+let checked ~ctx ~name ~allow ?(race_allow = []) ?(zero_sharing = false) run =
+  if not ctx.check then (run ~on_machine:ignore ~on_measure:ignore, None)
+  else begin
+    let chk = ref None in
+    let r =
+      run
+        ~on_machine:(fun m -> chk := Some (Check.attach m))
+        ~on_measure:(fun () -> Option.iter Check.reset_window !chk)
+    in
+    match !chk with
+    | Some c ->
+        let unexpected_races =
+          List.filter
+            (fun r -> not (List.mem r.Check.race_label race_allow))
+            (Check.races c)
+        in
+        let sound =
+          unexpected_races = [] && Check.cycles c = []
+          && Check.tlb_violations c = []
+          && Check.rc_violations c = []
+        in
+        let ok =
+          sound && ((not zero_sharing) || Check.multi_writer_lines ~allow c = [])
+        in
+        Check.detach c;
+        (r, Some (name, ok))
+    | None -> (r, None)
+  end
+
+let check_fields = function
+  | None -> []
+  | Some (name, ok) ->
+      [ ("check_name", Json.String name); ("check_clean", Json.Bool ok) ]
+
+let checks_of_rows rows = List.filter_map (fun (_, c) -> c) rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: major RadixVM components (line counts of this repo)        *)
+
+(* The source tree whose lines Table 1 counts: the nearest ancestor of
+   the working directory — or, failing that, of the executable — that
+   holds a dune-project. Running under dune resolves to _build/default,
+   whose copied sources have the same line counts; resolving against the
+   bare working directory would silently count nothing when the driver
+   runs from elsewhere (e.g. an --out-dir scratch directory). *)
+let repo_root () =
+  let rec ascend dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else ascend parent
+  in
+  let absolute p =
+    if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p
+  in
+  List.find_map ascend
+    [ Sys.getcwd (); absolute (Filename.dirname Sys.executable_name) ]
+
+let count_lines root dir =
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Array.fold_left
+        (fun acc entry -> walk acc (Filename.concat path entry))
+        acc (Sys.readdir path)
+    else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+    then begin
+      let ic = open_in path in
+      let n = ref 0 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr n
+         done
+       with End_of_file -> close_in ic);
+      acc + !n
+    end
+    else acc
+  in
+  match root with
+  | None -> 0
+  | Some root -> (
+      try walk 0 (Filename.concat root dir) with Sys_error _ -> 0)
+
+let table1 ctx =
+  header ctx "Table 1: major RadixVM components (lines of code)";
+  let components =
+    [
+      ("Radix tree", [ "lib/radix" ], "1,376");
+      ("Refcache", [ "lib/refcache" ], "932");
+      ("MMU abstraction + VM ops", [ "lib/core" ], "889 + 632");
+      ("Machine substrate (ccsim)", [ "lib/ccsim" ], "(kernel infra)");
+      ("Baselines + structures", [ "lib/baselines"; "lib/structures" ], "-");
+      ("Workloads", [ "lib/workloads" ], "-");
+    ]
+  in
+  let root = repo_root () in
+  let rows =
+    List.map
+      (fun (name, dirs, paper) ->
+        ( name,
+          List.fold_left (fun acc d -> acc + count_lines root d) 0 dirs,
+          paper ))
+      components
+  in
+  Format.fprintf ctx.ppf "%-28s %10s %16s\n" "Component" "this repo"
+    "paper (sv6 C++)";
+  List.iter
+    (fun (name, lines, paper) ->
+      Format.fprintf ctx.ppf "%-28s %10d %16s\n" name lines paper)
+    rows;
+  Format.pp_print_flush ctx.ppf ();
+  {
+    json =
+      Json.List
+        (List.map
+           (fun (name, lines, paper) ->
+             Json.Obj
+               [
+                 ("component", Json.String name);
+                 ("lines", Json.Int lines);
+                 ("paper_lines", Json.String paper);
+               ])
+           rows);
+    checks = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: Metis scalability                                         *)
+
+let fig4 ctx =
+  let units = [ ("8MB", 2048); ("64KB", 16) ] in
+  let systems =
+    [
+      ( "RadixVM",
+        fun ~unit_pages ~ncores ->
+          Metis_radix.run ~total_words:(metis_words ctx) ~unit_pages ~ncores
+            Radixvm.create );
+      ( "Bonsai",
+        fun ~unit_pages ~ncores ->
+          Metis_bonsai.run ~total_words:(metis_words ctx) ~unit_pages ~ncores
+            Baselines.Bonsai_vm.create );
+      ( "Linux",
+        fun ~unit_pages ~ncores ->
+          Metis_linux.run ~total_words:(metis_words ctx) ~unit_pages ~ncores
+            Baselines.Linux_vm.create );
+    ]
+  in
+  let jobs =
+    List.concat_map
+      (fun (uname, unit_pages) ->
+        List.concat_map
+          (fun (sysname, run) ->
+            List.map
+              (fun n ->
+                Pool.job
+                  ~name:(Printf.sprintf "%s/%s %d cores" sysname uname n)
+                  (fun () -> (uname, sysname, n, run ~unit_pages ~ncores:n)))
+              (core_counts ctx))
+          systems)
+      units
+  in
+  let rows = Pool.run ~jobs:ctx.jobs jobs in
+  header ctx "Figure 4: Metis throughput (jobs/hour), word-position index";
+  List.iter
+    (fun (uname, _) ->
+      Format.fprintf ctx.ppf "\n-- allocation unit %s --\n" uname;
+      row_header ctx "cores" (List.map string_of_int (core_counts ctx));
+      List.iter
+        (fun (sysname, _) ->
+          let cells =
+            List.filter_map
+              (fun (u, s, _, r) ->
+                if u = uname && s = sysname then
+                  Some (k r.Workloads.Metis.jobs_per_hour)
+                else None)
+              rows
+          in
+          row ctx (sysname ^ "/" ^ uname) cells)
+        systems)
+    units;
+  {
+    json =
+      Json.List
+        (List.map
+           (fun (u, s, n, (r : Workloads.Metis.report)) ->
+             Json.Obj
+               [
+                 ("unit", Json.String u);
+                 ("system", Json.String s);
+                 ("cores", Json.Int n);
+                 ("jobs_per_hour", Json.Float r.jobs_per_hour);
+                 ("job_cycles", Json.Int r.job_cycles);
+                 ("mmaps", Json.Int r.mmaps);
+                 ("pagefaults", Json.Int r.pagefaults);
+                 ("ipis", Json.Int r.ipis);
+               ])
+           rows);
+    checks = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figures 5 and 9: microbenchmarks                                    *)
+
+(* One runnable microbenchmark family: a VM system (possibly with a fixed
+   MMU policy) exposing the three section-5.3 benchmarks. *)
+type micro_sys = {
+  ms_name : string;
+  ms_allow : string list;
+  ms_race_allow : string list;
+      (* line labels with documented lock-free or sub-line discipline *)
+  ms_zero : string list;
+      (* benches on which this system claims a zero-sharing census *)
+  ms_local :
+    warmup:int ->
+    ncores:int ->
+    duration:int ->
+    on_machine:(Ccsim.Machine.t -> unit) ->
+    on_measure:(unit -> unit) ->
+    Workloads.Microbench.result;
+  ms_pipeline :
+    warmup:int ->
+    ncores:int ->
+    duration:int ->
+    on_machine:(Ccsim.Machine.t -> unit) ->
+    on_measure:(unit -> unit) ->
+    Workloads.Microbench.result;
+  ms_global :
+    warmup:int ->
+    ncores:int ->
+    duration:int ->
+    on_machine:(Ccsim.Machine.t -> unit) ->
+    on_measure:(unit -> unit) ->
+    Workloads.Microbench.result;
+}
+
+(* RadixVM with per-core page tables claims zero sharing only on the
+   local benchmark: pipeline hands pages between cores and global maps
+   one region from every core, so those share application lines by
+   design. "radix:slot" is race-allowed because interior nodes keep
+   eight per-slot lock bits on one line (see [checked]). *)
+let radix_sys ?(race_allow = [ "radix:slot" ]) ?(zero = [ "local" ]) ~name
+    ~allow make =
+  {
+    ms_name = name;
+    ms_allow = allow;
+    ms_race_allow = race_allow;
+    ms_zero = zero;
+    ms_local =
+      (fun ~warmup ~ncores ~duration ~on_machine ~on_measure ->
+        MB_radix.local ~warmup ~on_machine ~on_measure ~ncores ~duration make);
+    ms_pipeline =
+      (fun ~warmup ~ncores ~duration ~on_machine ~on_measure ->
+        MB_radix.pipeline ~warmup ~on_machine ~on_measure ~ncores ~duration make);
+    ms_global =
+      (fun ~warmup ~ncores ~duration ~on_machine ~on_measure ->
+        MB_radix.global ~warmup ~on_machine ~on_measure ~ncores ~duration make);
+  }
+
+let bonsai_sys =
+  {
+    ms_name = "Bonsai";
+    ms_allow = [];
+    (* shared page table written lock-free; RCU-style lock-free root *)
+    ms_race_allow = [ "pt:shared"; "bonsai:root" ];
+    ms_zero = [];
+    ms_local =
+      (fun ~warmup ~ncores ~duration ~on_machine ~on_measure ->
+        MB_bonsai.local ~warmup ~on_machine ~on_measure ~ncores ~duration
+          Baselines.Bonsai_vm.create);
+    ms_pipeline =
+      (fun ~warmup ~ncores ~duration ~on_machine ~on_measure ->
+        MB_bonsai.pipeline ~warmup ~on_machine ~on_measure ~ncores ~duration
+          Baselines.Bonsai_vm.create);
+    ms_global =
+      (fun ~warmup ~ncores ~duration ~on_machine ~on_measure ->
+        MB_bonsai.global ~warmup ~on_machine ~on_measure ~ncores ~duration
+          Baselines.Bonsai_vm.create);
+  }
+
+let linux_sys =
+  {
+    ms_name = "Linux";
+    ms_allow = [];
+    (* shared page table written lock-free by design *)
+    ms_race_allow = [ "pt:shared" ];
+    ms_zero = [];
+    ms_local =
+      (fun ~warmup ~ncores ~duration ~on_machine ~on_measure ->
+        MB_linux.local ~warmup ~on_machine ~on_measure ~ncores ~duration
+          Baselines.Linux_vm.create);
+    ms_pipeline =
+      (fun ~warmup ~ncores ~duration ~on_machine ~on_measure ->
+        MB_linux.pipeline ~warmup ~on_machine ~on_measure ~ncores ~duration
+          Baselines.Linux_vm.create);
+    ms_global =
+      (fun ~warmup ~ncores ~duration ~on_machine ~on_measure ->
+        MB_linux.global ~warmup ~on_machine ~on_measure ~ncores ~duration
+          Baselines.Linux_vm.create);
+  }
+
+let micro_benches = [ "local"; "pipeline"; "global" ]
+
+(* One job: run [bench] of [sys] at column [n] and return the result row
+   with its verdict. The pipeline benchmark needs at least two cores; the
+   global benchmark sizes both windows to the core count. *)
+let micro_job ~ctx ~sys ~bench ~n =
+  (* Names carry the effective core count (the pipeline benchmark needs
+     at least two), matching the machine the run actually simulates. *)
+  let effective = match bench with "pipeline" -> max 2 n | _ -> n in
+  let name = Printf.sprintf "%s %s %d cores" sys.ms_name bench effective in
+  Pool.job ~name (fun () ->
+      let run =
+        match bench with
+        | "local" ->
+            sys.ms_local ~warmup:(micro_warmup ctx n) ~ncores:n
+              ~duration:(micro_duration ctx)
+        | "pipeline" ->
+            sys.ms_pipeline ~warmup:(micro_warmup ctx n) ~ncores:effective
+              ~duration:(micro_duration ctx)
+        | "global" ->
+            let d = global_duration ctx n in
+            sys.ms_global ~warmup:d ~ncores:n ~duration:d
+        | other -> failwith ("unknown microbenchmark " ^ other)
+      in
+      let result, verdict =
+        checked ~ctx ~name ~allow:sys.ms_allow ~race_allow:sys.ms_race_allow
+          ~zero_sharing:(List.mem bench sys.ms_zero)
+          (fun ~on_machine ~on_measure -> run ~on_machine ~on_measure)
+      in
+      ((bench, sys.ms_name, n, result), verdict))
+
+let micro_json ?(extra = []) (bench, system, cores, (r : Workloads.Microbench.result))
+    verdict =
+  (* "cores" is the sweep column; when a benchmark's floor lifts the
+     simulated count (pipeline needs a producer and a consumer), the
+     machine actually built is recorded as "effective_cores". *)
+  let effective =
+    if bench = "pipeline" && cores < 2 then
+      [ ("effective_cores", Json.Int 2) ]
+    else []
+  in
+  Json.Obj
+    (extra
+    @ [
+        ("bench", Json.String bench);
+        ("system", Json.String system);
+        ("cores", Json.Int cores);
+      ]
+    @ effective
+    @ [
+        ("writes_per_sec", Json.Float r.writes_per_sec);
+        ("page_writes", Json.Int r.page_writes);
+        ("cycles", Json.Int r.cycles);
+        ("ipis", Json.Int r.ipis);
+        ("shootdowns", Json.Int r.shootdown_events);
+        ("transfers", Json.Int r.transfers);
+        ("lock_wait", Json.Int r.lock_wait);
+        ("shootdown_wait", Json.Int r.shootdown_wait);
+        ("line_stall", Json.Int r.line_stall);
+      ]
+    @ check_fields verdict)
+
+let render_micro_tables ctx ~row_name ~rows =
+  List.iter
+    (fun bench ->
+      Format.fprintf ctx.ppf "\n-- %s (total page writes/sec) --\n" bench;
+      row_header ctx "cores" (List.map string_of_int (core_counts ctx));
+      let systems_in_order =
+        List.fold_left
+          (fun acc ((b, s, _, _), _) ->
+            if b = bench && not (List.mem s acc) then acc @ [ s ] else acc)
+          [] rows
+      in
+      List.iter
+        (fun sysname ->
+          let cells =
+            List.filter_map
+              (fun ((b, s, _, r), _) ->
+                if b = bench && s = sysname then
+                  Some (k r.Workloads.Microbench.writes_per_sec)
+                else None)
+              rows
+          in
+          row ctx (row_name sysname) cells)
+        systems_in_order)
+    micro_benches
+
+let fig5 ctx =
+  let systems =
+    [ radix_sys ~name:"RadixVM" ~allow:Check.radixvm_allow Radixvm.create;
+      bonsai_sys; linux_sys ]
+  in
+  let jobs =
+    List.concat_map
+      (fun bench ->
+        List.concat_map
+          (fun sys ->
+            List.map (fun n -> micro_job ~ctx ~sys ~bench ~n) (core_counts ctx))
+          systems)
+      micro_benches
+  in
+  let rows = Pool.run ~jobs:ctx.jobs jobs in
+  header ctx "Figure 5: local / pipeline / global microbenchmarks";
+  render_micro_tables ctx ~row_name:(fun s -> s) ~rows;
+  let checks = checks_of_rows rows in
+  report_checks ctx checks;
+  { json = Json.List (List.map (fun (r, v) -> micro_json r v) rows); checks }
+
+let fig9 ctx =
+  let systems =
+    [
+      radix_sys ~name:"Per-core" ~allow:Check.radixvm_allow Radixvm.create;
+      (* With a shared page table, PTE writes come from every faulting
+         core: sharing (and its lock-free writes) is the point of the
+         comparison, so no zero-sharing claim. *)
+      radix_sys ~name:"Shared" ~allow:Check.radixvm_allow
+        ~race_allow:[ "radix:slot"; "pt:shared" ] ~zero:[]
+        (fun m -> Radixvm.create_with ~mmu:Vm.Page_table.Shared m);
+    ]
+  in
+  let jobs =
+    List.concat_map
+      (fun bench ->
+        List.concat_map
+          (fun sys ->
+            List.map (fun n -> micro_job ~ctx ~sys ~bench ~n) (core_counts ctx))
+          systems)
+      micro_benches
+  in
+  let rows = Pool.run ~jobs:ctx.jobs jobs in
+  header ctx "Figure 9: per-core vs shared page tables (RadixVM)";
+  render_micro_tables ctx ~row_name:(fun s -> s) ~rows;
+  let checks = checks_of_rows rows in
+  report_checks ctx checks;
+  {
+    json =
+      Json.List
+        (List.map
+           (fun ((b, s, n, r), v) ->
+             micro_json
+               ~extra:[ ("page_tables", Json.String s) ]
+               (b, "RadixVM", n, r) v)
+           rows);
+    checks;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: memory overhead                                            *)
+
+let table2 ctx =
+  let jobs =
+    List.map
+      (fun p ->
+        Pool.job ~name:("snapshot " ^ p.Workloads.Snapshots.name) (fun () ->
+            Workloads.Snapshots.measure p))
+      Workloads.Snapshots.all
+  in
+  let rows = Pool.run ~jobs:ctx.jobs jobs in
+  header ctx "Table 2: memory usage for alternate VM representations";
+  List.iter (fun r -> Format.fprintf ctx.ppf "%a@." Workloads.Snapshots.pp_row r) rows;
+  Format.fprintf ctx.ppf
+    "(paper: Firefox 2.4x, Chrome 2.0x, Apache 1.5x, MySQL 2.7x)\n";
+  Format.pp_print_flush ctx.ppf ();
+  {
+    json =
+      Json.List
+        (List.map
+           (fun (r : Workloads.Snapshots.row) ->
+             Json.Obj
+               [
+                 ("profile", Json.String r.profile.Workloads.Snapshots.name);
+                 ("vma_count", Json.Int r.profile.Workloads.Snapshots.vma_count);
+                 ("rss_bytes", Json.Int r.rss_bytes);
+                 ("linux_vma_bytes", Json.Int r.linux_vma_bytes);
+                 ("linux_pt_bytes", Json.Int r.linux_pt_bytes);
+                 ("radix_bytes", Json.Int r.radix_bytes);
+                 ("ratio", Json.Float r.ratio);
+               ])
+           rows);
+    checks = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.4: per-core page table overhead for Metis                 *)
+
+let pt_overhead ctx =
+  let ncores = if ctx.quick then 16 else 80 in
+  let measure mmu () =
+    let captured = ref None in
+    let make machine =
+      let vm = Radixvm.create_with ~mmu machine in
+      captured := Some vm;
+      vm
+    in
+    let _metis =
+      Metis_radix.run ~total_words:(metis_words ctx) ~unit_pages:16 ~ncores make
+    in
+    match !captured with
+    | Some vm ->
+        let pt = Radixvm.pt_bytes vm in
+        let rss =
+          Ccsim.Physmem.live_frames (Ccsim.Machine.physmem (Radixvm.machine vm))
+          * Vm.Vm_types.page_size
+        in
+        (pt, rss)
+    | None -> assert false
+  in
+  let jobs =
+    [
+      Pool.job ~name:"pt-overhead per-core" (measure Vm.Page_table.Per_core);
+      Pool.job ~name:"pt-overhead shared" (measure Vm.Page_table.Shared);
+    ]
+  in
+  let rows = Pool.run ~jobs:ctx.jobs jobs in
+  let (pt_per_core, rss), (pt_shared, _) =
+    match rows with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  header ctx "Section 5.4: Metis page-table overhead, per-core vs shared";
+  Format.fprintf ctx.ppf
+    "Metis at %d cores: app memory %s, shared PT %s (%.1f%%), per-core PT %s (%.1f%%), ratio %.1fx\n"
+    ncores
+    (k (float_of_int rss))
+    (k (float_of_int pt_shared))
+    (100. *. float_of_int pt_shared /. float_of_int rss)
+    (k (float_of_int pt_per_core))
+    (100. *. float_of_int pt_per_core /. float_of_int rss)
+    (float_of_int pt_per_core /. float_of_int (max 1 pt_shared));
+  Format.fprintf ctx.ppf
+    "(paper: shared 0.3%% of app memory, per-core 3.6%%, 13x)\n";
+  Format.pp_print_flush ctx.ppf ();
+  {
+    json =
+      Json.Obj
+        [
+          ("cores", Json.Int ncores);
+          ("app_rss_bytes", Json.Int rss);
+          ("pt_bytes_shared", Json.Int pt_shared);
+          ("pt_bytes_per_core", Json.Int pt_per_core);
+          ( "ratio",
+            Json.Float (float_of_int pt_per_core /. float_of_int (max 1 pt_shared))
+          );
+        ];
+    checks = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figures 6 and 7: index structure lookups vs writers                 *)
+
+let fig_index ctx ~title ~structure ~writer_counts run =
+  let jobs =
+    List.concat_map
+      (fun writers ->
+        List.map
+          (fun readers ->
+            Pool.job
+              ~name:
+                (Printf.sprintf "%s %d writers %d readers" structure writers
+                   readers)
+              (fun () ->
+                ( writers,
+                  readers,
+                  run ~readers ~writers ~duration:(index_duration ctx) )))
+          (core_counts ctx))
+      writer_counts
+  in
+  let rows = Pool.run ~jobs:ctx.jobs jobs in
+  header ctx title;
+  row_header ctx "reader cores" (List.map string_of_int (core_counts ctx));
+  List.iter
+    (fun writers ->
+      let cells =
+        List.filter_map
+          (fun (w, _, r) ->
+            if w = writers then Some (k r.Workloads.Index_bench.lookups_per_sec)
+            else None)
+          rows
+      in
+      row ctx (Printf.sprintf "%d writers" writers) cells)
+    writer_counts;
+  {
+    json =
+      Json.List
+        (List.map
+           (fun (w, rd, (r : Workloads.Index_bench.result)) ->
+             Json.Obj
+               [
+                 ("structure", Json.String structure);
+                 ("readers", Json.Int rd);
+                 ("writers", Json.Int w);
+                 ("lookups_per_sec", Json.Float r.lookups_per_sec);
+                 ("lookups", Json.Int r.lookups);
+                 ("write_pairs_per_sec", Json.Float r.write_pairs_per_sec);
+               ])
+           rows);
+    checks = [];
+  }
+
+let fig6 ctx =
+  fig_index ctx
+    ~title:"Figure 6: skip list lookups under concurrent inserts/deletes"
+    ~structure:"skiplist" ~writer_counts:[ 0; 1; 5 ] Workloads.Index_bench.skiplist
+
+let fig7 ctx =
+  fig_index ctx
+    ~title:"Figure 7: radix tree lookups under concurrent inserts/deletes"
+    ~structure:"radix" ~writer_counts:[ 0; 10; 40 ] Workloads.Index_bench.radix
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: reference counting schemes                                *)
+
+let fig8 ctx =
+  let schemes =
+    [
+      ("Refcache", fun ~ncores ~duration -> CB_refcache.run ~ncores ~duration ());
+      ("SNZI", fun ~ncores ~duration -> CB_snzi.run ~ncores ~duration ());
+      ("Shared counter", fun ~ncores ~duration -> CB_shared.run ~ncores ~duration ());
+      ("Distributed", fun ~ncores ~duration -> CB_dist.run ~ncores ~duration ());
+    ]
+  in
+  let jobs =
+    List.concat_map
+      (fun (name, run) ->
+        List.map
+          (fun n ->
+            Pool.job
+              ~name:(Printf.sprintf "%s %d cores" name n)
+              (fun () ->
+                (name, n, run ~ncores:n ~duration:(counter_duration ctx))))
+          (core_counts ctx))
+      schemes
+  in
+  let rows = Pool.run ~jobs:ctx.jobs jobs in
+  header ctx "Figure 8: page-sharing throughput by refcount scheme (iters/sec)";
+  row_header ctx "cores" (List.map string_of_int (core_counts ctx));
+  List.iter
+    (fun (name, _) ->
+      let cells =
+        List.filter_map
+          (fun (s, _, r) ->
+            if s = name then Some (k r.Workloads.Counter_bench.iters_per_sec)
+            else None)
+          rows
+      in
+      row ctx name cells)
+    schemes;
+  {
+    json =
+      Json.List
+        (List.map
+           (fun (s, n, (r : Workloads.Counter_bench.result)) ->
+             Json.Obj
+               [
+                 ("scheme", Json.String s);
+                 ("cores", Json.Int n);
+                 ("iters_per_sec", Json.Float r.iters_per_sec);
+                 ("iterations", Json.Int r.iterations);
+                 ("transfers", Json.Int r.transfers);
+               ])
+           rows);
+    checks = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design knobs the paper discusses but does not plot        *)
+
+(* A. MMU policy sweep (section 3.3's page-table sharing compromise). *)
+let ablation_mmu ctx =
+  let policies =
+    [
+      ("Per-core", Vm.Page_table.Per_core);
+      ("Per-socket (10)", Vm.Page_table.Grouped 10);
+      ("Shared", Vm.Page_table.Shared);
+    ]
+  in
+  let jobs =
+    List.concat_map
+      (fun (name, mmu) ->
+        List.map
+          (fun n ->
+            Pool.job
+              ~name:(Printf.sprintf "mmu %s %d cores" name n)
+              (fun () ->
+                let r =
+                  MB_radix.local ~warmup:(micro_warmup ctx n) ~ncores:n
+                    ~duration:(micro_duration ctx)
+                    (fun m -> Radixvm.create_with ~mmu m)
+                in
+                (name, n, r.Workloads.Microbench.writes_per_sec)))
+          (core_counts ctx))
+      policies
+  in
+  let rows = Pool.run ~jobs:ctx.jobs jobs in
+  Format.fprintf ctx.ppf
+    "\n-- A. MMU policy, local benchmark (page writes/sec) --\n";
+  row_header ctx "cores" (List.map string_of_int (core_counts ctx));
+  List.iter
+    (fun (name, _) ->
+      let cells =
+        List.filter_map
+          (fun (p, _, w) -> if p = name then Some (k w) else None)
+          rows
+      in
+      row ctx name cells)
+    policies;
+  Json.List
+    (List.map
+       (fun (p, n, w) ->
+         Json.Obj
+           [
+             ("policy", Json.String p);
+             ("cores", Json.Int n);
+             ("writes_per_sec", Json.Float w);
+           ])
+       rows)
+
+(* B. Refcache delta-cache size: conflict rate as the space/scalability
+   knob — a hot working set with a tiny cache evicts constantly. *)
+let ablation_cache_size ctx =
+  let run_one slots () =
+    let machine = Ccsim.Machine.create (Ccsim.Params.default ~ncores:16 ()) in
+    let rc = Refcnt.Refcache.create ~cache_slots:slots machine in
+    let core0 = Ccsim.Machine.core machine 0 in
+    let objs =
+      Array.init 256 (fun _ ->
+          Refcnt.Refcache.make_obj rc core0 ~init:1 ~free:(fun _ -> ()))
+    in
+    let ops = ref 0 in
+    for c = 0 to 15 do
+      let core = Ccsim.Machine.core machine c in
+      (* Hold references across operations so deltas stay cached between
+         steps: cache conflicts then evict live deltas to the shared
+         global counts. *)
+      let held = Queue.create () in
+      Ccsim.Machine.set_workload machine c (fun () ->
+          if Queue.length held >= 8 then
+            Refcnt.Refcache.dec rc core (Queue.pop held);
+          let o = objs.(Random.State.int core.Ccsim.Core.rng 256) in
+          Refcnt.Refcache.inc rc core o;
+          Queue.push o held;
+          incr ops;
+          true)
+    done;
+    let duration = if ctx.quick then 200_000 else 1_000_000 in
+    Ccsim.Machine.run_for machine ~cycles:duration;
+    (slots, float_of_int !ops /. Ccsim.Machine.seconds machine duration)
+  in
+  let jobs =
+    List.map
+      (fun slots ->
+        Pool.job ~name:(Printf.sprintf "refcache %d slots" slots) (run_one slots))
+      [ 8; 32; 256; 4096 ]
+  in
+  let rows = Pool.run ~jobs:ctx.jobs jobs in
+  Format.fprintf ctx.ppf
+    "\n-- B. Refcache delta-cache size (16 cores, 256 hot objects; ops/sec) --\n";
+  List.iter
+    (fun (slots, ops) ->
+      Format.fprintf ctx.ppf "%6d slots: %12s ops/sec\n" slots (k ops))
+    rows;
+  Format.pp_print_flush ctx.ppf ();
+  Json.List
+    (List.map
+       (fun (slots, ops) ->
+         Json.Obj [ ("slots", Json.Int slots); ("ops_per_sec", Json.Float ops) ])
+       rows)
+
+(* C. Epoch length: reclamation latency vs scalability. *)
+let ablation_epoch ctx =
+  let run_one epoch () =
+    let machine =
+      Ccsim.Machine.create (Ccsim.Params.default ~ncores:2 ~epoch_cycles:epoch ())
+    in
+    let vm = Radixvm.create machine in
+    let core = Ccsim.Machine.core machine 0 in
+    Radixvm.mmap vm core ~vpn:0 ~npages:16 ();
+    for p = 0 to 15 do
+      ignore (Radixvm.touch vm core ~vpn:p)
+    done;
+    (* Settle the maintenance backlog accumulated during setup so the
+       measurement starts from a clean epoch boundary. *)
+    Ccsim.Machine.drain machine ~cycles:1;
+    Radixvm.munmap vm core ~vpn:0 ~npages:16;
+    let unmapped_at = Ccsim.Machine.elapsed machine in
+    let pm = Ccsim.Machine.physmem machine in
+    let freed_at = ref None in
+    let guard = ref 0 in
+    while !freed_at = None && !guard < 1000 do
+      incr guard;
+      Ccsim.Machine.drain machine ~cycles:(epoch / 4);
+      if Ccsim.Physmem.live_frames pm = 0 then
+        freed_at := Some (Ccsim.Machine.elapsed machine)
+    done;
+    (epoch, Option.map (fun t -> t - unmapped_at) !freed_at)
+  in
+  let jobs =
+    List.map
+      (fun epoch ->
+        Pool.job ~name:(Printf.sprintf "epoch %d" epoch) (run_one epoch))
+      [ 100_000; 1_000_000; 10_000_000 ]
+  in
+  let rows = Pool.run ~jobs:ctx.jobs jobs in
+  Format.fprintf ctx.ppf
+    "\n-- C. Refcache epoch length vs frame reclamation latency --\n";
+  List.iter
+    (fun (epoch, latency) ->
+      match latency with
+      | Some l ->
+          Format.fprintf ctx.ppf
+            "epoch %8d cycles: frames reclaimed %8d cycles after munmap (%.1f epochs)\n"
+            epoch l
+            (float_of_int l /. float_of_int epoch)
+      | None ->
+          Format.fprintf ctx.ppf "epoch %8d cycles: frames never reclaimed!\n"
+            epoch)
+    rows;
+  Format.pp_print_flush ctx.ppf ();
+  Json.List
+    (List.map
+       (fun (epoch, latency) ->
+         Json.Obj
+           [
+             ("epoch_cycles", Json.Int epoch);
+             ( "reclaim_cycles",
+               match latency with Some l -> Json.Int l | None -> Json.Null );
+           ])
+       rows)
+
+(* D. Fork cost vs address-space size (COW: no frames are copied). *)
+let ablation_fork ctx =
+  let run_one npages () =
+    let machine = Ccsim.Machine.create (Ccsim.Params.default ~ncores:2 ()) in
+    let vm = Radixvm.create machine in
+    let core = Ccsim.Machine.core machine 0 in
+    Radixvm.mmap vm core ~vpn:0 ~npages ();
+    for p = 0 to npages - 1 do
+      ignore (Radixvm.touch vm core ~vpn:p)
+    done;
+    let t0 = Ccsim.Core.now core in
+    let child = Radixvm.fork vm core in
+    let cycles = Ccsim.Core.now core - t0 in
+    ignore child;
+    let eager = npages * (Ccsim.Machine.params machine).Ccsim.Params.page_zero in
+    (npages, cycles, eager)
+  in
+  let jobs =
+    List.map
+      (fun npages ->
+        Pool.job ~name:(Printf.sprintf "fork %d pages" npages) (run_one npages))
+      [ 64; 512; 4096 ]
+  in
+  let rows = Pool.run ~jobs:ctx.jobs jobs in
+  Format.fprintf ctx.ppf
+    "\n-- D. fork cost vs faulted pages (COW: no frames are copied) --\n";
+  List.iter
+    (fun (npages, cycles, eager) ->
+      Format.fprintf ctx.ppf
+        "%6d pages: fork %9d cycles (%5d/page) | eager copy would cost >= %9d\n"
+        npages cycles (cycles / max 1 npages) eager)
+    rows;
+  Format.pp_print_flush ctx.ppf ();
+  Json.List
+    (List.map
+       (fun (npages, cycles, eager) ->
+         Json.Obj
+           [
+             ("pages", Json.Int npages);
+             ("fork_cycles", Json.Int cycles);
+             ("eager_copy_cycles", Json.Int eager);
+           ])
+       rows)
+
+let ablations ctx =
+  header ctx "Ablations: design knobs beyond the paper's figures";
+  let mmu = ablation_mmu ctx in
+  let cache = ablation_cache_size ctx in
+  let epoch = ablation_epoch ctx in
+  let fork = ablation_fork ctx in
+  {
+    json =
+      Json.Obj
+        [
+          ("mmu_policy", mmu);
+          ("refcache_cache_size", cache);
+          ("epoch_reclaim", epoch);
+          ("fork_cost", fork);
+        ];
+    checks = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock microbenchmarks of the real data structures (Bechamel)   *)
+
+(* Real elapsed time, not simulated: inherently serial and not
+   deterministic, so it bypasses the pool and its JSON artifact is for
+   humans and trend dashboards, not byte-identity checks. *)
+let wallclock ctx =
+  header ctx "Wall-clock microbenchmarks (Bechamel, real time not simulated)";
+  let open Bechamel in
+  let open Toolkit in
+  let machine = Ccsim.Machine.create (Ccsim.Params.default ~ncores:4 ()) in
+  let rc = Refcnt.Refcache.create machine in
+  let core = Ccsim.Machine.core machine 0 in
+  let tree = Radix.create ~bits:9 ~levels:3 machine rc core in
+  let lk = Radix.lock_range tree core ~lo:0 ~hi:4096 in
+  Radix.fill_range tree core lk 42;
+  Radix.unlock_range tree core lk;
+  let obj = Refcnt.Refcache.make_obj rc core ~init:1 ~free:(fun _ -> ()) in
+  let sl = Structures.Skiplist.create core in
+  for i = 0 to 999 do
+    Structures.Skiplist.insert core sl (i * 17) i
+  done;
+  let counter = ref 0 in
+  let tests =
+    Test.make_grouped ~name:"radixvm" ~fmt:"%s %s"
+      [
+        Test.make ~name:"radix lookup"
+          (Staged.stage (fun () ->
+               incr counter;
+               ignore (Radix.lookup tree core (!counter * 7 mod 4096))));
+        Test.make ~name:"refcache inc/dec"
+          (Staged.stage (fun () ->
+               Refcnt.Refcache.inc rc core obj;
+               Refcnt.Refcache.dec rc core obj));
+        Test.make ~name:"skiplist find"
+          (Staged.stage (fun () ->
+               incr counter;
+               ignore
+                 (Structures.Skiplist.find core sl (!counter * 17 mod 17000))));
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw_results in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let est =
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Some est
+          | _ -> None
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Format.fprintf ctx.ppf "%-32s %10.1f ns/op\n" name est
+      | None -> Format.fprintf ctx.ppf "%-32s (no estimate)\n" name)
+    rows;
+  Format.pp_print_flush ctx.ppf ();
+  {
+    json =
+      Json.List
+        (List.map
+           (fun (name, est) ->
+             Json.Obj
+               [
+                 ("name", Json.String name);
+                 ( "ns_per_op",
+                   match est with Some e -> Json.Float e | None -> Json.Null );
+               ])
+           rows);
+    checks = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let targets =
+  [
+    ("table1", table1);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("table2", table2);
+    ("pt-overhead", pt_overhead);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("ablations", ablations);
+    ("wallclock", wallclock);
+  ]
+
+let target_names = List.map fst targets
+let run_target ctx name = Option.map (fun f -> f ctx) (List.assoc_opt name targets)

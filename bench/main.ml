@@ -1,689 +1,143 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (section 5). Run with no arguments for everything, or pass
    target names: table1 fig4 fig5 table2 pt-overhead fig6 fig7 fig8 fig9
-   wallclock. `--quick` shrinks sweeps for smoke testing; `--check`
-   attaches the dynamic checker to every microbenchmark run and prints a
-   verdict summary (zero-sharing, races, lock order, TLB, refcounts)
-   after each figure. *)
+   ablations wallclock.
 
-module Radixvm = Vm.Radixvm.Default
-module MB_radix = Workloads.Microbench.Make (Vm.Radixvm.Default)
-module MB_linux = Workloads.Microbench.Make (Baselines.Linux_vm)
-module MB_bonsai = Workloads.Microbench.Make (Baselines.Bonsai_vm)
-module Metis_radix = Workloads.Metis.Make (Vm.Radixvm.Default)
-module Metis_linux = Workloads.Metis.Make (Baselines.Linux_vm)
-module Metis_bonsai = Workloads.Metis.Make (Baselines.Bonsai_vm)
-module CB_refcache = Workloads.Counter_bench.Make (Refcnt.Refcache_counter)
-module CB_shared = Workloads.Counter_bench.Make (Refcnt.Shared_counter)
-module CB_snzi = Workloads.Counter_bench.Make (Refcnt.Snzi)
-module CB_dist = Workloads.Counter_bench.Make (Refcnt.Distributed_counter)
+   Flags:
+     --quick      shrink sweeps for smoke testing
+     --check      attach the dynamic checker to every instrumented run and
+                  print a verdict summary after each figure
+     --strict     exit nonzero if any checker verdict is not clean
+     --jobs N     run the per-(system, core-count) simulations on N host
+                  domains (default: Domain.recommended_domain_count; 1 =
+                  serial). Results are deterministic and identically
+                  ordered for any N.
+     --out-dir D  where to write the BENCH_*.json artifacts (default .)
 
-let quick = ref false
-let check = ref false
+   Every selected target writes a machine-readable artifact
+   (BENCH_<target>.json) next to a BENCH_meta.json that records
+   wall-clock, job count, and the git commit, so perf trajectories can be
+   tracked run over run. *)
 
-(* With --check every instrumented run records a verdict; a figure calls
-   [report_checks] once its table is printed so the summary does not
-   interleave with the rows. The sharing window opens at the
-   warmup/measure boundary (the [on_measure] hook), so startup handoffs
-   are excluded exactly as they are from the throughput numbers. *)
-let check_results : (string * bool) list ref = ref []
+module Json = Harness.Json
 
-let checked ~name ~allow run =
-  if not !check then run ~on_machine:ignore ~on_measure:ignore
-  else begin
-    let chk = ref None in
-    let r =
-      run
-        ~on_machine:(fun m -> chk := Some (Check.attach m))
-        ~on_measure:(fun () -> Option.iter Check.reset_window !chk)
-    in
-    (match !chk with
-    | Some c -> check_results := (name, Check.ok ~allow c) :: !check_results
-    | None -> ());
-    r
-  end
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--quick] [--check] [--strict] [--jobs N] [--out-dir D] [targets...]\n\
+     targets: %s\n"
+    (String.concat " " Figures.target_names);
+  exit 1
 
-let report_checks () =
-  if !check then begin
-    let total = List.length !check_results in
-    let bad = List.filter (fun (_, ok) -> not ok) !check_results in
-    Printf.printf
-      "\ncheck: %d instrumented runs, %d clean, %d with findings\n" total
-      (total - List.length bad)
-      (List.length bad);
-    List.iter
-      (fun (n, _) -> Printf.printf "  findings: %s\n" n)
-      (List.rev bad);
-    check_results := [];
-    flush stdout
-  end
-
-let core_counts () = if !quick then [ 1; 4; 16 ] else [ 1; 10; 20; 40; 60; 80 ]
-let micro_duration () = if !quick then 400_000 else 2_000_000
-
-(* The global benchmark's iteration (every core writes every page, then a
-   machine-wide shootdown storm) grows with core count; size its windows
-   so several iterations fit. *)
-let global_duration n = if !quick then 2_000_000 else max 8_000_000 (n * 500_000)
-
-(* Startup transients (initial radix expansion, first Refcache epochs,
-   channel priming) lengthen with core count; warm up accordingly. *)
-let micro_warmup n = if !quick then 1_000_000 else max 4_000_000 (n * 150_000)
-let index_duration () = if !quick then 200_000 else 800_000
-let counter_duration () = if !quick then 200_000 else 1_000_000
-let metis_words () = if !quick then 40_000 else 400_000
-
-let header title =
-  Printf.printf "\n================ %s ================\n%!" title
-
-let row_header name cols =
-  Printf.printf "%-24s" name;
-  List.iter (fun c -> Printf.printf "%14s" c) cols;
-  print_newline ()
-
-let row name cells =
-  Printf.printf "%-24s" name;
-  List.iter (fun v -> Printf.printf "%14s" v) cells;
-  print_newline ();
-  flush stdout
-
-let k v =
-  if v >= 1e9 then Printf.sprintf "%.2fG" (v /. 1e9)
-  else if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
-  else if v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
-  else Printf.sprintf "%.0f" v
-
-(* ------------------------------------------------------------------ *)
-(* Table 1: major RadixVM components (line counts of this repo)        *)
-
-let count_lines dir =
-  let rec walk acc path =
-    if Sys.is_directory path then
-      Array.fold_left
-        (fun acc entry -> walk acc (Filename.concat path entry))
-        acc (Sys.readdir path)
-    else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
-    then begin
+(* The commit the artifacts were generated from, for BENCH_meta.json.
+   Read straight from .git so the harness needs no subprocess and no
+   libraries; "unknown" outside a work tree (e.g. a dune sandbox). *)
+let git_commit () =
+  let read_line path =
+    try
       let ic = open_in path in
-      let n = ref 0 in
-      (try
-         while true do
-           ignore (input_line ic);
-           incr n
-         done
-       with End_of_file -> close_in ic);
-      acc + !n
-    end
-    else acc
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Some (String.trim (input_line ic)))
+    with Sys_error _ | End_of_file -> None
   in
-  try walk 0 dir with Sys_error _ -> 0
+  match read_line ".git/HEAD" with
+  | None -> "unknown"
+  | Some head ->
+      if String.length head > 5 && String.sub head 0 5 = "ref: " then
+        let r = String.sub head 5 (String.length head - 5) in
+        (match read_line (Filename.concat ".git" r) with
+        | Some hash -> hash
+        | None -> "unknown")
+      else head
 
-let table1 () =
-  header "Table 1: major RadixVM components (lines of code)";
-  Printf.printf "%-28s %10s %16s\n" "Component" "this repo" "paper (sv6 C++)";
-  let comp name dirs paper =
-    let lines = List.fold_left (fun acc d -> acc + count_lines d) 0 dirs in
-    Printf.printf "%-28s %10d %16s\n" name lines paper
-  in
-  comp "Radix tree" [ "lib/radix" ] "1,376";
-  comp "Refcache" [ "lib/refcache" ] "932";
-  comp "MMU abstraction + VM ops" [ "lib/core" ] "889 + 632";
-  comp "Machine substrate (ccsim)" [ "lib/ccsim" ] "(kernel infra)";
-  comp "Baselines + structures" [ "lib/baselines"; "lib/structures" ] "-";
-  comp "Workloads" [ "lib/workloads" ] "-"
-
-(* ------------------------------------------------------------------ *)
-(* Figure 4: Metis scalability                                         *)
-
-let fig4 () =
-  header "Figure 4: Metis throughput (jobs/hour), word-position index";
-  let units = [ ("8MB", 2048); ("64KB", 16) ] in
-  let systems =
-    [
-      ( "RadixVM",
-        fun ~unit_pages ~ncores ->
-          (Metis_radix.run ~total_words:(metis_words ()) ~unit_pages ~ncores
-             Radixvm.create)
-            .jobs_per_hour );
-      ( "Bonsai",
-        fun ~unit_pages ~ncores ->
-          (Metis_bonsai.run ~total_words:(metis_words ()) ~unit_pages ~ncores
-             Baselines.Bonsai_vm.create)
-            .jobs_per_hour );
-      ( "Linux",
-        fun ~unit_pages ~ncores ->
-          (Metis_linux.run ~total_words:(metis_words ()) ~unit_pages ~ncores
-             Baselines.Linux_vm.create)
-            .jobs_per_hour );
-    ]
-  in
-  List.iter
-    (fun (uname, unit_pages) ->
-      Printf.printf "\n-- allocation unit %s --\n" uname;
-      row_header "cores" (List.map string_of_int (core_counts ()));
-      List.iter
-        (fun (sysname, run) ->
-          let cells =
-            List.map (fun n -> k (run ~unit_pages ~ncores:n)) (core_counts ())
-          in
-          row (sysname ^ "/" ^ uname) cells)
-        systems)
-    units
-
-(* ------------------------------------------------------------------ *)
-(* Figure 5: microbenchmarks across VM systems                         *)
-
-type micro_sys = {
-  ms_name : string;
-  ms_local : ncores:int -> duration:int -> Workloads.Microbench.result;
-  ms_pipeline : ncores:int -> duration:int -> Workloads.Microbench.result;
-  ms_global : ncores:int -> duration:int -> Workloads.Microbench.result;
-}
-
-let micro_systems () =
-  [
-    {
-      ms_name = "RadixVM";
-      ms_local =
-        (fun ~ncores ~duration ->
-          checked
-            ~name:(Printf.sprintf "RadixVM local %d cores" ncores)
-            ~allow:Check.radixvm_allow
-            (fun ~on_machine ~on_measure ->
-              MB_radix.local ~on_machine ~on_measure
-                ~warmup:(micro_warmup ncores) ~ncores ~duration Radixvm.create));
-      ms_pipeline =
-        (fun ~ncores ~duration ->
-          checked
-            ~name:(Printf.sprintf "RadixVM pipeline %d cores" ncores)
-            ~allow:Check.radixvm_allow
-            (fun ~on_machine ~on_measure ->
-              MB_radix.pipeline ~on_machine ~on_measure
-                ~warmup:(micro_warmup ncores) ~ncores ~duration Radixvm.create));
-      ms_global =
-        (fun ~ncores ~duration:_ ->
-          let d = global_duration ncores in
-          checked
-            ~name:(Printf.sprintf "RadixVM global %d cores" ncores)
-            ~allow:Check.radixvm_allow
-            (fun ~on_machine ~on_measure ->
-              MB_radix.global ~on_machine ~on_measure ~warmup:d ~ncores
-                ~duration:d Radixvm.create));
-    };
-    {
-      ms_name = "Bonsai";
-      ms_local =
-        (fun ~ncores ~duration ->
-          checked
-            ~name:(Printf.sprintf "Bonsai local %d cores" ncores)
-            ~allow:[]
-            (fun ~on_machine ~on_measure ->
-              MB_bonsai.local ~on_machine ~on_measure
-                ~warmup:(micro_warmup ncores) ~ncores ~duration
-                Baselines.Bonsai_vm.create));
-      ms_pipeline =
-        (fun ~ncores ~duration ->
-          checked
-            ~name:(Printf.sprintf "Bonsai pipeline %d cores" ncores)
-            ~allow:[]
-            (fun ~on_machine ~on_measure ->
-              MB_bonsai.pipeline ~on_machine ~on_measure
-                ~warmup:(micro_warmup ncores) ~ncores ~duration
-                Baselines.Bonsai_vm.create));
-      ms_global =
-        (fun ~ncores ~duration:_ ->
-          let d = global_duration ncores in
-          checked
-            ~name:(Printf.sprintf "Bonsai global %d cores" ncores)
-            ~allow:[]
-            (fun ~on_machine ~on_measure ->
-              MB_bonsai.global ~on_machine ~on_measure ~warmup:d ~ncores
-                ~duration:d Baselines.Bonsai_vm.create));
-    };
-    {
-      ms_name = "Linux";
-      ms_local =
-        (fun ~ncores ~duration ->
-          checked
-            ~name:(Printf.sprintf "Linux local %d cores" ncores)
-            ~allow:[]
-            (fun ~on_machine ~on_measure ->
-              MB_linux.local ~on_machine ~on_measure
-                ~warmup:(micro_warmup ncores) ~ncores ~duration
-                Baselines.Linux_vm.create));
-      ms_pipeline =
-        (fun ~ncores ~duration ->
-          checked
-            ~name:(Printf.sprintf "Linux pipeline %d cores" ncores)
-            ~allow:[]
-            (fun ~on_machine ~on_measure ->
-              MB_linux.pipeline ~on_machine ~on_measure
-                ~warmup:(micro_warmup ncores) ~ncores ~duration
-                Baselines.Linux_vm.create));
-      ms_global =
-        (fun ~ncores ~duration:_ ->
-          let d = global_duration ncores in
-          checked
-            ~name:(Printf.sprintf "Linux global %d cores" ncores)
-            ~allow:[]
-            (fun ~on_machine ~on_measure ->
-              MB_linux.global ~on_machine ~on_measure ~warmup:d ~ncores
-                ~duration:d Baselines.Linux_vm.create));
-    };
-  ]
-
-let run_micro_table title pick =
-  Printf.printf "\n-- %s (total page writes/sec) --\n" title;
-  row_header "cores" (List.map string_of_int (core_counts ()));
-  List.iter
-    (fun sys ->
-      let cells =
-        List.map
-          (fun n ->
-            let ncores = if title = "pipeline" then max 2 n else n in
-            let r = pick sys ~ncores ~duration:(micro_duration ()) in
-            k r.Workloads.Microbench.writes_per_sec)
-          (core_counts ())
-      in
-      row sys.ms_name cells)
-    (micro_systems ())
-
-let fig5 () =
-  header "Figure 5: local / pipeline / global microbenchmarks";
-  run_micro_table "local" (fun s -> s.ms_local);
-  run_micro_table "pipeline" (fun s -> s.ms_pipeline);
-  run_micro_table "global" (fun s -> s.ms_global);
-  report_checks ()
-
-(* ------------------------------------------------------------------ *)
-(* Table 2: memory overhead                                            *)
-
-let table2 () =
-  header "Table 2: memory usage for alternate VM representations";
-  List.iter
-    (fun p ->
-      let r = Workloads.Snapshots.measure p in
-      Format.printf "%a@." Workloads.Snapshots.pp_row r)
-    Workloads.Snapshots.all;
-  Printf.printf "(paper: Firefox 2.4x, Chrome 2.0x, Apache 1.5x, MySQL 2.7x)\n"
-
-(* ------------------------------------------------------------------ *)
-(* Section 5.4: per-core page table overhead for Metis                 *)
-
-let pt_overhead () =
-  header "Section 5.4: Metis page-table overhead, per-core vs shared";
-  let ncores = if !quick then 16 else 80 in
-  let run mmu =
-    let captured = ref None in
-    let make machine =
-      let vm = Radixvm.create_with ~mmu machine in
-      captured := Some vm;
-      vm
-    in
-    let _metis =
-      Metis_radix.run ~total_words:(metis_words ()) ~unit_pages:16 ~ncores make
-    in
-    match !captured with
-    | Some vm ->
-        let pt = Radixvm.pt_bytes vm in
-        let rss =
-          Ccsim.Physmem.live_frames (Ccsim.Machine.physmem (Radixvm.machine vm))
-          * Vm.Vm_types.page_size
-        in
-        (pt, rss)
-    | None -> assert false
-  in
-  let pt_per_core, rss = run Vm.Page_table.Per_core in
-  let pt_shared, _ = run Vm.Page_table.Shared in
-  Printf.printf
-    "Metis at %d cores: app memory %s, shared PT %s (%.1f%%), per-core PT %s (%.1f%%), ratio %.1fx\n"
-    ncores
-    (k (float_of_int rss))
-    (k (float_of_int pt_shared))
-    (100. *. float_of_int pt_shared /. float_of_int rss)
-    (k (float_of_int pt_per_core))
-    (100. *. float_of_int pt_per_core /. float_of_int rss)
-    (float_of_int pt_per_core /. float_of_int (max 1 pt_shared));
-  Printf.printf "(paper: shared 0.3%% of app memory, per-core 3.6%%, 13x)\n"
-
-(* ------------------------------------------------------------------ *)
-(* Figures 6 and 7: index structure lookups vs writers                 *)
-
-let fig_index ~title ~writer_counts run =
-  header title;
-  row_header "reader cores" (List.map string_of_int (core_counts ()));
-  List.iter
-    (fun writers ->
-      let cells =
-        List.map
-          (fun readers ->
-            let r = run ~readers ~writers ~duration:(index_duration ()) in
-            k r.Workloads.Index_bench.lookups_per_sec)
-          (core_counts ())
-      in
-      row (Printf.sprintf "%d writers" writers) cells)
-    writer_counts
-
-let fig6 () =
-  fig_index
-    ~title:"Figure 6: skip list lookups under concurrent inserts/deletes"
-    ~writer_counts:[ 0; 1; 5 ] Workloads.Index_bench.skiplist
-
-let fig7 () =
-  fig_index
-    ~title:"Figure 7: radix tree lookups under concurrent inserts/deletes"
-    ~writer_counts:[ 0; 10; 40 ] Workloads.Index_bench.radix
-
-(* ------------------------------------------------------------------ *)
-(* Figure 8: reference counting schemes                                *)
-
-let fig8 () =
-  header "Figure 8: page-sharing throughput by refcount scheme (iters/sec)";
-  row_header "cores" (List.map string_of_int (core_counts ()));
-  let schemes =
-    [
-      ("Refcache", fun ~ncores ~duration -> CB_refcache.run ~ncores ~duration ());
-      ("SNZI", fun ~ncores ~duration -> CB_snzi.run ~ncores ~duration ());
-      ("Shared counter", fun ~ncores ~duration -> CB_shared.run ~ncores ~duration ());
-      ("Distributed", fun ~ncores ~duration -> CB_dist.run ~ncores ~duration ());
-    ]
-  in
-  List.iter
-    (fun (name, run) ->
-      let cells =
-        List.map
-          (fun n ->
-            let r = run ~ncores:n ~duration:(counter_duration ()) in
-            k r.Workloads.Counter_bench.iters_per_sec)
-          (core_counts ())
-      in
-      row name cells)
-    schemes
-
-(* ------------------------------------------------------------------ *)
-(* Figure 9: per-core vs shared page tables                            *)
-
-let fig9 () =
-  header "Figure 9: per-core vs shared page tables (RadixVM)";
-  let make_per_core = Radixvm.create in
-  let make_shared m = Radixvm.create_with ~mmu:Vm.Page_table.Shared m in
-  let benches =
-    [
-      ( "local",
-        fun ~pt make ~ncores ->
-          checked
-            ~name:(Printf.sprintf "RadixVM/%s local %d cores" pt ncores)
-            ~allow:Check.radixvm_allow
-            (fun ~on_machine ~on_measure ->
-              MB_radix.local ~on_machine ~on_measure
-                ~warmup:(micro_warmup ncores) ~ncores
-                ~duration:(micro_duration ()) make) );
-      ( "pipeline",
-        fun ~pt make ~ncores ->
-          checked
-            ~name:(Printf.sprintf "RadixVM/%s pipeline %d cores" pt ncores)
-            ~allow:Check.radixvm_allow
-            (fun ~on_machine ~on_measure ->
-              MB_radix.pipeline ~on_machine ~on_measure
-                ~warmup:(micro_warmup ncores) ~ncores:(max 2 ncores)
-                ~duration:(micro_duration ()) make) );
-      ( "global",
-        fun ~pt make ~ncores ->
-          let d = global_duration ncores in
-          checked
-            ~name:(Printf.sprintf "RadixVM/%s global %d cores" pt ncores)
-            ~allow:Check.radixvm_allow
-            (fun ~on_machine ~on_measure ->
-              MB_radix.global ~on_machine ~on_measure ~warmup:d ~ncores
-                ~duration:d make) );
-    ]
-  in
-  List.iter
-    (fun (bname, run) ->
-      Printf.printf "\n-- %s (total page writes/sec) --\n" bname;
-      row_header "cores" (List.map string_of_int (core_counts ()));
-      let cells_of ~pt make =
-        List.map
-          (fun n ->
-            k (run ~pt make ~ncores:n).Workloads.Microbench.writes_per_sec)
-          (core_counts ())
-      in
-      row "Per-core" (cells_of ~pt:"per-core" make_per_core);
-      row "Shared" (cells_of ~pt:"shared" make_shared))
-    benches;
-  report_checks ()
-
-(* ------------------------------------------------------------------ *)
-(* Ablation D lives in [ablations] too: fork cost vs address-space size *)
-
-let ablation_fork () =
-  Printf.printf
-    "\n-- D. fork cost vs faulted pages (COW: no frames are copied) --\n";
-  List.iter
-    (fun npages ->
-      let machine = Ccsim.Machine.create (Ccsim.Params.default ~ncores:2 ()) in
-      let vm = Radixvm.create machine in
-      let core = Ccsim.Machine.core machine 0 in
-      Radixvm.mmap vm core ~vpn:0 ~npages ();
-      for p = 0 to npages - 1 do
-        ignore (Radixvm.touch vm core ~vpn:p)
-      done;
-      let t0 = Ccsim.Core.now core in
-      let child = Radixvm.fork vm core in
-      let cycles = Ccsim.Core.now core - t0 in
-      ignore child;
-      let eager =
-        npages * (Ccsim.Machine.params machine).Ccsim.Params.page_zero
-      in
-      Printf.printf
-        "%6d pages: fork %9d cycles (%5d/page) | eager copy would cost >= %9d\n%!"
-        npages cycles (cycles / max 1 npages) eager)
-    [ 64; 512; 4096 ]
-
-(* ------------------------------------------------------------------ *)
-(* Ablations: design knobs the paper discusses but does not plot        *)
-
-let ablations () =
-  header "Ablations: design knobs beyond the paper's figures";
-
-  (* A. MMU policy: the paper suggests sharing page tables between small
-     groups of cores as a memory/scalability compromise (section 3.3). *)
-  Printf.printf "\n-- A. MMU policy, local benchmark (page writes/sec) --\n";
-  row_header "cores" (List.map string_of_int (core_counts ()));
-  List.iter
-    (fun (name, mmu) ->
-      let cells =
-        List.map
-          (fun n ->
-            let r =
-              MB_radix.local ~warmup:(micro_warmup n) ~ncores:n
-                ~duration:(micro_duration ())
-                (fun m -> Radixvm.create_with ~mmu m)
-            in
-            k r.Workloads.Microbench.writes_per_sec)
-          (core_counts ())
-      in
-      row name cells)
-    [
-      ("Per-core", Vm.Page_table.Per_core);
-      ("Per-socket (10)", Vm.Page_table.Grouped 10);
-      ("Shared", Vm.Page_table.Shared);
-    ];
-
-  (* B. Refcache delta-cache size: the paper notes the conflict rate is
-     the space/scalability knob. A hot multi-core working set of counters
-     with a tiny cache evicts constantly (writing shared global counts);
-     a big cache keeps all deltas local. *)
-  Printf.printf
-    "\n-- B. Refcache delta-cache size (16 cores, 256 hot objects; ops/sec) --\n";
-  List.iter
-    (fun slots ->
-      let machine = Ccsim.Machine.create (Ccsim.Params.default ~ncores:16 ()) in
-      let rc = Refcnt.Refcache.create ~cache_slots:slots machine in
-      let core0 = Ccsim.Machine.core machine 0 in
-      let objs =
-        Array.init 256 (fun _ ->
-            Refcnt.Refcache.make_obj rc core0 ~init:1 ~free:(fun _ -> ()))
-      in
-      let ops = ref 0 in
-      for c = 0 to 15 do
-        let core = Ccsim.Machine.core machine c in
-        (* Hold references across operations so deltas stay cached between
-           steps: cache conflicts then evict live deltas to the shared
-           global counts. *)
-        let held = Queue.create () in
-        Ccsim.Machine.set_workload machine c (fun () ->
-            if Queue.length held >= 8 then
-              Refcnt.Refcache.dec rc core (Queue.pop held);
-            let o = objs.(Random.State.int core.Ccsim.Core.rng 256) in
-            Refcnt.Refcache.inc rc core o;
-            Queue.push o held;
-            incr ops;
-            true)
-      done;
-      let duration = if !quick then 200_000 else 1_000_000 in
-      Ccsim.Machine.run_for machine ~cycles:duration;
-      Printf.printf "%6d slots: %12s ops/sec\n%!" slots
-        (k (float_of_int !ops /. Ccsim.Machine.seconds machine duration)))
-    [ 8; 32; 256; 4096 ];
-
-  (* C. Epoch length: Refcache trades reclamation latency for scalability;
-     measure cycles from munmap to the frames actually returning. *)
-  Printf.printf "\n-- C. Refcache epoch length vs frame reclamation latency --\n";
-  List.iter
-    (fun epoch ->
-      let machine =
-        Ccsim.Machine.create
-          (Ccsim.Params.default ~ncores:2 ~epoch_cycles:epoch ())
-      in
-      let vm = Radixvm.create machine in
-      let core = Ccsim.Machine.core machine 0 in
-      Radixvm.mmap vm core ~vpn:0 ~npages:16 ();
-      for p = 0 to 15 do
-        ignore (Radixvm.touch vm core ~vpn:p)
-      done;
-      (* Settle the maintenance backlog accumulated during setup so the
-         measurement starts from a clean epoch boundary. *)
-      Ccsim.Machine.drain machine ~cycles:1;
-      Radixvm.munmap vm core ~vpn:0 ~npages:16;
-      let unmapped_at = Ccsim.Machine.elapsed machine in
-      let pm = Ccsim.Machine.physmem machine in
-      let freed_at = ref None in
-      let guard = ref 0 in
-      while !freed_at = None && !guard < 1000 do
-        incr guard;
-        Ccsim.Machine.drain machine ~cycles:(epoch / 4);
-        if Ccsim.Physmem.live_frames pm = 0 then
-          freed_at := Some (Ccsim.Machine.elapsed machine)
-      done;
-      (match !freed_at with
-      | Some t ->
-          Printf.printf
-            "epoch %8d cycles: frames reclaimed %8d cycles after munmap (%.1f epochs)\n%!"
-            epoch (t - unmapped_at)
-            (float_of_int (t - unmapped_at) /. float_of_int epoch)
-      | None -> Printf.printf "epoch %8d cycles: frames never reclaimed!\n" epoch))
-    [ 100_000; 1_000_000; 10_000_000 ];
-  ablation_fork ()
-
-(* ------------------------------------------------------------------ *)
-(* Wall-clock microbenchmarks of the real data structures (Bechamel)   *)
-
-let wallclock () =
-  header "Wall-clock microbenchmarks (Bechamel, real time not simulated)";
-  let open Bechamel in
-  let open Toolkit in
-  let machine = Ccsim.Machine.create (Ccsim.Params.default ~ncores:4 ()) in
-  let rc = Refcnt.Refcache.create machine in
-  let core = Ccsim.Machine.core machine 0 in
-  let tree = Radix.create ~bits:9 ~levels:3 machine rc core in
-  let lk = Radix.lock_range tree core ~lo:0 ~hi:4096 in
-  Radix.fill_range tree core lk 42;
-  Radix.unlock_range tree core lk;
-  let obj = Refcnt.Refcache.make_obj rc core ~init:1 ~free:(fun _ -> ()) in
-  let sl = Structures.Skiplist.create core in
-  for i = 0 to 999 do
-    Structures.Skiplist.insert core sl (i * 17) i
-  done;
-  let counter = ref 0 in
-  let tests =
-    Test.make_grouped ~name:"radixvm" ~fmt:"%s %s"
-      [
-        Test.make ~name:"radix lookup"
-          (Staged.stage (fun () ->
-               incr counter;
-               ignore (Radix.lookup tree core (!counter * 7 mod 4096))));
-        Test.make ~name:"refcache inc/dec"
-          (Staged.stage (fun () ->
-               Refcnt.Refcache.inc rc core obj;
-               Refcnt.Refcache.dec rc core obj));
-        Test.make ~name:"skiplist find"
-          (Staged.stage (fun () ->
-               incr counter;
-               ignore
-                 (Structures.Skiplist.find core sl (!counter * 17 mod 17000))));
-      ]
-  in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
-  in
-  let raw_results = Benchmark.all cfg instances tests in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-  in
-  let results = Analyze.all ols Instance.monotonic_clock raw_results in
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "%-32s %10.1f ns/op\n" name est
-      | _ -> Printf.printf "%-32s (no estimate)\n" name)
-    results
-
-(* ------------------------------------------------------------------ *)
-
-let targets =
-  [
-    ("table1", table1);
-    ("fig4", fig4);
-    ("fig5", fig5);
-    ("table2", table2);
-    ("pt-overhead", pt_overhead);
-    ("fig6", fig6);
-    ("fig7", fig7);
-    ("fig8", fig8);
-    ("fig9", fig9);
-    ("ablations", ablations);
-    ("wallclock", wallclock);
-  ]
+let artifact_name target =
+  "BENCH_" ^ String.map (fun c -> if c = '-' then '_' else c) target ^ ".json"
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else if a = "--check" then begin
-          check := true;
-          false
-        end
-        else true)
-      args
+  let quick = ref false
+  and check = ref false
+  and strict = ref false
+  and jobs = ref 0
+  and out_dir = ref "." in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        parse acc rest
+    | "--check" :: rest ->
+        check := true;
+        parse acc rest
+    | "--strict" :: rest ->
+        strict := true;
+        parse acc rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse acc rest
+        | _ -> usage ())
+    | "--out-dir" :: d :: rest ->
+        out_dir := d;
+        parse acc rest
+    | ("--jobs" | "--out-dir") :: [] -> usage ()
+    | a :: _ when String.length a > 0 && a.[0] = '-' -> usage ()
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
+  let jobs = if !jobs = 0 then Harness.Pool.default_jobs () else !jobs in
+  let ctx =
+    {
+      Figures.quick = !quick;
+      check = !check;
+      jobs;
+      ppf = Format.std_formatter;
+    }
   in
   let selected =
-    match args with
-    | [] | [ "all" ] -> List.map fst targets
-    | names -> names
+    match args with [] | [ "all" ] -> Figures.target_names | names -> names
   in
+  let t0 = Unix.gettimeofday () in
+  let all_checks = ref [] in
   List.iter
     (fun name ->
-      match List.assoc_opt name targets with
-      | Some f -> f ()
+      match Figures.run_target ctx name with
       | None ->
           Printf.eprintf "unknown target %s; available: %s\n" name
-            (String.concat " " (List.map fst targets));
-          exit 1)
-    selected
+            (String.concat " " Figures.target_names);
+          exit 1
+      | Some out ->
+          all_checks := !all_checks @ out.Figures.checks;
+          Json.to_file ~pretty:true
+            (Filename.concat !out_dir (artifact_name name))
+            out.Figures.json)
+    selected;
+  let wall = Unix.gettimeofday () -. t0 in
+  Json.to_file ~pretty:true
+    (Filename.concat !out_dir "BENCH_meta.json")
+    (Json.Obj
+       [
+         ("schema_version", Json.Int 1);
+         ("targets", Json.List (List.map (fun t -> Json.String t) selected));
+         ("quick", Json.Bool !quick);
+         ("check", Json.Bool !check);
+         ("jobs", Json.Int jobs);
+         ("host_domains", Json.Int (Harness.Pool.default_jobs ()));
+         ("wall_clock_seconds", Json.Float wall);
+         ("generated_at", Json.Float t0);
+         ("commit", Json.String (git_commit ()));
+         ( "instrumented_runs",
+           Json.List
+             (List.map
+                (fun (n, ok) ->
+                  Json.Obj
+                    [ ("name", Json.String n); ("clean", Json.Bool ok) ])
+                !all_checks) );
+       ]);
+  if !strict then begin
+    let bad = List.filter (fun (_, ok) -> not ok) !all_checks in
+    if bad <> [] then begin
+      Printf.eprintf "strict: %d instrumented runs with findings\n"
+        (List.length bad);
+      exit 1
+    end
+  end

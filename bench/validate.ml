@@ -1,0 +1,42 @@
+(* Artifact validator for the bench-smoke alias: every BENCH_*.json given
+   on the command line must exist, parse as JSON, and be structurally
+   sane — a non-empty array of row objects (or, for BENCH_meta.json, an
+   object carrying the required bookkeeping fields). Exits nonzero with a
+   message naming the first offending file. *)
+
+module Json = Harness.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let require_rows path = function
+  | Json.List [] -> fail "%s: empty rows array" path
+  | Json.List rows ->
+      List.iteri
+        (fun i row ->
+          match row with
+          | Json.Obj (_ :: _) -> ()
+          | _ -> fail "%s: row %d is not a non-empty object" path i)
+        rows
+  | Json.Obj (_ :: _) -> ()  (* scalar-shaped artifacts (pt-overhead, ablations) *)
+  | _ -> fail "%s: expected an array of rows or an object" path
+
+let require_meta path json =
+  List.iter
+    (fun key ->
+      if Json.member key json = None then fail "%s: missing field %S" path key)
+    [ "schema_version"; "targets"; "jobs"; "wall_clock_seconds"; "commit" ]
+
+let () =
+  let paths = List.tl (Array.to_list Sys.argv) in
+  if paths = [] then fail "usage: validate.exe BENCH_*.json...";
+  List.iter
+    (fun path ->
+      if not (Sys.file_exists path) then fail "%s: missing artifact" path;
+      match Json.of_file path with
+      | Error m -> fail "%s: invalid JSON: %s" path m
+      | Ok json ->
+          if Filename.basename path = "BENCH_meta.json" then
+            require_meta path json
+          else require_rows path json)
+    paths;
+  Printf.printf "validate: %d artifacts ok\n" (List.length paths)

@@ -24,6 +24,38 @@ let vm_arg =
 let cores_arg =
   Arg.(value & opt int 8 & info [ "cores" ] ~doc:"Number of simulated cores.")
 
+(* Sweeping subcommands accept a comma-separated list of core counts and
+   run one independent simulation per count. *)
+let cores_list_arg =
+  Arg.(
+    value & opt string "8"
+    & info [ "cores" ]
+        ~doc:
+          "Simulated core count, or a comma-separated list to sweep (one \
+           independent run per count).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "jobs" ]
+        ~doc:
+          "Worker domains for sweeps (default: the host's recommended domain \
+           count). 1 runs everything serially; results are printed in sweep \
+           order either way.")
+
+let parse_cores s =
+  let parts = String.split_on_char ',' s in
+  let cores =
+    List.map
+      (fun p ->
+        match int_of_string_opt (String.trim p) with
+        | Some n when n >= 1 -> n
+        | _ -> failwith ("bad --cores value: " ^ s))
+      parts
+  in
+  if cores = [] then failwith "empty --cores list" else cores
+
 let duration_arg =
   Arg.(
     value
@@ -41,70 +73,97 @@ let check_arg =
 (* The checker attaches when the machine is built and opens its sharing
    window at the warmup/measure boundary, exactly where [Stats.reset]
    runs; for RadixVM the zero-sharing verdict uses the documented
-   allowlist, baselines are reported raw. *)
-let checked_report vm chk =
+   allowlist, baselines are reported raw. Pooled jobs must not print, so
+   the report is rendered to a string inside the job and printed by the
+   collector in sweep order. *)
+let render_report vm chk =
   match !chk with
-  | None -> ()
+  | None -> ""
   | Some c ->
       let allow =
         match vm with
         | "radixvm" | "radixvm-shared" -> Check.radixvm_allow
         | _ -> []
       in
-      Format.printf "%a@." (Check.report ~allow) c
+      let s = Format.asprintf "%a@." (Check.report ~allow) c in
+      Check.detach c;
+      s
+
+(* Run one job per requested core count through the harness pool and
+   print each result (and checker report) in sweep order. *)
+let sweep ~name ~jobs ~cores ~pp rows =
+  let results = Harness.Pool.run ~jobs rows in
+  let many = List.length cores > 1 in
+  List.iter2
+    (fun n (result, report) ->
+      if many then Format.printf "-- %s, %d cores --@." name n;
+      Format.printf "%a@." pp result;
+      print_string report)
+    cores results
 
 (* ---- micro ---- *)
 
-let micro bench vm cores duration check =
-  let chk = ref None in
-  let on_machine m = if check then chk := Some (Check.attach m) in
-  let on_measure () = Option.iter Check.reset_window !chk in
-  let pick local pipeline global =
-    match bench with
-    | "local" -> local ~on_machine ~on_measure ~ncores:cores ~duration
-    | "pipeline" -> pipeline ~on_machine ~on_measure ~ncores:(max 2 cores) ~duration
-    | "global" -> global ~on_machine ~on_measure ~ncores:cores ~duration
-    | other -> failwith ("unknown benchmark " ^ other)
+let micro bench vm cores jobs duration check =
+  let cores = parse_cores cores in
+  let run_one n =
+    let chk = ref None in
+    let on_machine m = if check then chk := Some (Check.attach m) in
+    let on_measure () = Option.iter Check.reset_window !chk in
+    let pick local pipeline global =
+      match bench with
+      | "local" -> local ~on_machine ~on_measure ~ncores:n ~duration
+      | "pipeline" -> pipeline ~on_machine ~on_measure ~ncores:(max 2 n) ~duration
+      | "global" -> global ~on_machine ~on_measure ~ncores:n ~duration
+      | other -> failwith ("unknown benchmark " ^ other)
+    in
+    let result =
+      match vm with
+      | "radixvm" ->
+          pick
+            (fun ~on_machine ~on_measure ~ncores ~duration ->
+              MB_radix.local ~on_machine ~on_measure ~ncores ~duration Radixvm.create)
+            (fun ~on_machine ~on_measure ~ncores ~duration ->
+              MB_radix.pipeline ~on_machine ~on_measure ~ncores ~duration Radixvm.create)
+            (fun ~on_machine ~on_measure ~ncores ~duration ->
+              MB_radix.global ~on_machine ~on_measure ~ncores ~duration Radixvm.create)
+      | "radixvm-shared" ->
+          let make m = Radixvm.create_with ~mmu:Vm.Page_table.Shared m in
+          pick
+            (fun ~on_machine ~on_measure ~ncores ~duration ->
+              MB_radix.local ~on_machine ~on_measure ~ncores ~duration make)
+            (fun ~on_machine ~on_measure ~ncores ~duration ->
+              MB_radix.pipeline ~on_machine ~on_measure ~ncores ~duration make)
+            (fun ~on_machine ~on_measure ~ncores ~duration ->
+              MB_radix.global ~on_machine ~on_measure ~ncores ~duration make)
+      | "linux" ->
+          pick
+            (fun ~on_machine ~on_measure ~ncores ~duration ->
+              MB_linux.local ~on_machine ~on_measure ~ncores ~duration Baselines.Linux_vm.create)
+            (fun ~on_machine ~on_measure ~ncores ~duration ->
+              MB_linux.pipeline ~on_machine ~on_measure ~ncores ~duration Baselines.Linux_vm.create)
+            (fun ~on_machine ~on_measure ~ncores ~duration ->
+              MB_linux.global ~on_machine ~on_measure ~ncores ~duration Baselines.Linux_vm.create)
+      | "bonsai" ->
+          pick
+            (fun ~on_machine ~on_measure ~ncores ~duration ->
+              MB_bonsai.local ~on_machine ~on_measure ~ncores ~duration Baselines.Bonsai_vm.create)
+            (fun ~on_machine ~on_measure ~ncores ~duration ->
+              MB_bonsai.pipeline ~on_machine ~on_measure ~ncores ~duration Baselines.Bonsai_vm.create)
+            (fun ~on_machine ~on_measure ~ncores ~duration ->
+              MB_bonsai.global ~on_machine ~on_measure ~ncores ~duration Baselines.Bonsai_vm.create)
+      | other -> failwith ("unknown vm " ^ other)
+    in
+    (result, render_report vm chk)
   in
-  let result =
-    match vm with
-    | "radixvm" ->
-        pick
-          (fun ~on_machine ~on_measure ~ncores ~duration ->
-            MB_radix.local ~on_machine ~on_measure ~ncores ~duration Radixvm.create)
-          (fun ~on_machine ~on_measure ~ncores ~duration ->
-            MB_radix.pipeline ~on_machine ~on_measure ~ncores ~duration Radixvm.create)
-          (fun ~on_machine ~on_measure ~ncores ~duration ->
-            MB_radix.global ~on_machine ~on_measure ~ncores ~duration Radixvm.create)
-    | "radixvm-shared" ->
-        let make m = Radixvm.create_with ~mmu:Vm.Page_table.Shared m in
-        pick
-          (fun ~on_machine ~on_measure ~ncores ~duration ->
-            MB_radix.local ~on_machine ~on_measure ~ncores ~duration make)
-          (fun ~on_machine ~on_measure ~ncores ~duration ->
-            MB_radix.pipeline ~on_machine ~on_measure ~ncores ~duration make)
-          (fun ~on_machine ~on_measure ~ncores ~duration ->
-            MB_radix.global ~on_machine ~on_measure ~ncores ~duration make)
-    | "linux" ->
-        pick
-          (fun ~on_machine ~on_measure ~ncores ~duration ->
-            MB_linux.local ~on_machine ~on_measure ~ncores ~duration Baselines.Linux_vm.create)
-          (fun ~on_machine ~on_measure ~ncores ~duration ->
-            MB_linux.pipeline ~on_machine ~on_measure ~ncores ~duration Baselines.Linux_vm.create)
-          (fun ~on_machine ~on_measure ~ncores ~duration ->
-            MB_linux.global ~on_machine ~on_measure ~ncores ~duration Baselines.Linux_vm.create)
-    | "bonsai" ->
-        pick
-          (fun ~on_machine ~on_measure ~ncores ~duration ->
-            MB_bonsai.local ~on_machine ~on_measure ~ncores ~duration Baselines.Bonsai_vm.create)
-          (fun ~on_machine ~on_measure ~ncores ~duration ->
-            MB_bonsai.pipeline ~on_machine ~on_measure ~ncores ~duration Baselines.Bonsai_vm.create)
-          (fun ~on_machine ~on_measure ~ncores ~duration ->
-            MB_bonsai.global ~on_machine ~on_measure ~ncores ~duration Baselines.Bonsai_vm.create)
-    | other -> failwith ("unknown vm " ^ other)
-  in
-  Format.printf "%a@." Workloads.Microbench.pp_result result;
-  checked_report vm chk
+  sweep
+    ~name:(Printf.sprintf "%s %s" vm bench)
+    ~jobs ~cores ~pp:Workloads.Microbench.pp_result
+    (List.map
+       (fun n ->
+         Harness.Pool.job
+           ~name:(Printf.sprintf "%s %s %d cores" vm bench n)
+           (fun () -> run_one n))
+       cores)
 
 let micro_cmd =
   let bench =
@@ -114,7 +173,9 @@ let micro_cmd =
   in
   Cmd.v
     (Cmd.info "micro" ~doc:"Run a section-5.3 microbenchmark.")
-    Term.(const micro $ bench $ vm_arg $ cores_arg $ duration_arg $ check_arg)
+    Term.(
+      const micro $ bench $ vm_arg $ cores_list_arg $ jobs_arg $ duration_arg
+      $ check_arg)
 
 (* ---- metis ---- *)
 
@@ -152,28 +213,39 @@ let metis_cmd =
 
 (* ---- counter ---- *)
 
-let counter scheme cores duration check =
-  let chk = ref None in
-  let on_machine m = if check then chk := Some (Check.attach m) in
-  let on_measure () = Option.iter Check.reset_window !chk in
-  let result =
-    match scheme with
-    | "refcache" ->
-        let module B = Workloads.Counter_bench.Make (Refcnt.Refcache_counter) in
-        B.run ~on_machine ~on_measure ~ncores:cores ~duration ()
-    | "shared" ->
-        let module B = Workloads.Counter_bench.Make (Refcnt.Shared_counter) in
-        B.run ~on_machine ~on_measure ~ncores:cores ~duration ()
-    | "snzi" ->
-        let module B = Workloads.Counter_bench.Make (Refcnt.Snzi) in
-        B.run ~on_machine ~on_measure ~ncores:cores ~duration ()
-    | "distributed" ->
-        let module B = Workloads.Counter_bench.Make (Refcnt.Distributed_counter) in
-        B.run ~on_machine ~on_measure ~ncores:cores ~duration ()
-    | other -> failwith ("unknown scheme " ^ other)
+let counter scheme cores jobs duration check =
+  let cores = parse_cores cores in
+  let run_one n =
+    let chk = ref None in
+    let on_machine m = if check then chk := Some (Check.attach m) in
+    let on_measure () = Option.iter Check.reset_window !chk in
+    let result =
+      match scheme with
+      | "refcache" ->
+          let module B = Workloads.Counter_bench.Make (Refcnt.Refcache_counter) in
+          B.run ~on_machine ~on_measure ~ncores:n ~duration ()
+      | "shared" ->
+          let module B = Workloads.Counter_bench.Make (Refcnt.Shared_counter) in
+          B.run ~on_machine ~on_measure ~ncores:n ~duration ()
+      | "snzi" ->
+          let module B = Workloads.Counter_bench.Make (Refcnt.Snzi) in
+          B.run ~on_machine ~on_measure ~ncores:n ~duration ()
+      | "distributed" ->
+          let module B = Workloads.Counter_bench.Make (Refcnt.Distributed_counter) in
+          B.run ~on_machine ~on_measure ~ncores:n ~duration ()
+      | other -> failwith ("unknown scheme " ^ other)
+    in
+    (result, render_report scheme chk)
   in
-  Format.printf "%a@." Workloads.Counter_bench.pp_result result;
-  checked_report scheme chk
+  sweep
+    ~name:(Printf.sprintf "counter %s" scheme)
+    ~jobs ~cores ~pp:Workloads.Counter_bench.pp_result
+    (List.map
+       (fun n ->
+         Harness.Pool.job
+           ~name:(Printf.sprintf "counter %s %d cores" scheme n)
+           (fun () -> run_one n))
+       cores)
 
 let counter_cmd =
   let scheme =
@@ -184,7 +256,9 @@ let counter_cmd =
   in
   Cmd.v
     (Cmd.info "counter" ~doc:"Run the Figure 8 refcounting benchmark.")
-    Term.(const counter $ scheme $ cores_arg $ duration_arg $ check_arg)
+    Term.(
+      const counter $ scheme $ cores_list_arg $ jobs_arg $ duration_arg
+      $ check_arg)
 
 (* ---- index ---- *)
 

@@ -28,30 +28,20 @@ let quiet_decr t = t.quiet <- t.quiet - 1
 (* Identity spaces for lines and locks. Ids are only used to correlate
    events and name findings in reports; they never feed back into the cost
    model, so a process-wide counter keeps creation sites untouched by
-   plumbing while staying deterministic for a given program. *)
-let line_ids = ref 0
-
-let fresh_line_id () =
-  let id = !line_ids in
-  incr line_ids;
-  id
-
-let lock_ids = ref 0
-
-let fresh_lock_id () =
-  let id = !lock_ids in
-  incr lock_ids;
-  id
+   plumbing. The counters are atomic because the benchmark harness runs
+   independent simulations on concurrent domains: ids from simultaneous
+   jobs interleave (no longer dense per machine), but uniqueness — the
+   only property the checkers' ledgers rely on — always holds. *)
+let line_ids = Atomic.make 0
+let fresh_line_id () = Atomic.fetch_and_add line_ids 1
+let lock_ids = Atomic.make 0
+let fresh_lock_id () = Atomic.fetch_and_add lock_ids 1
 
 (* Address-space ids distinguish the TLB events of different MMUs: every
    address space has its own per-core TLB instances, so "core 1 caches
    vpn 101" is only meaningful relative to an address space. *)
-let asids = ref 0
-
-let fresh_asid () =
-  let id = !asids in
-  incr asids;
-  id
+let asids = Atomic.make 0
+let fresh_asid () = Atomic.fetch_and_add asids 1
 
 let pp_kind ppf = function
   | Plain -> Format.pp_print_string ppf "plain"

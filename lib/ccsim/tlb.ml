@@ -49,6 +49,29 @@ let rec evict_one t =
       end
       else evict_one t
 
+(* Invalidation removes vpns from [tbl] but leaves them queued; without a
+   bound, munmap-heavy runs grow the queue forever (stale entries only
+   drained on insert-at-capacity). When stale entries dominate — the live
+   count is [Hashtbl.length tbl], at most [capacity] — rebuild the queue
+   keeping only the first (oldest) occurrence of each live vpn, which is
+   exactly the entry [evict_one] would act on. Rebuilding costs one pass
+   over the queue and is triggered only after at least [capacity]
+   invalidations, so eviction stays O(1) amortized. *)
+let compact t =
+  if Queue.length t.fifo > 2 * t.capacity then begin
+    let keep = Queue.create () in
+    let seen = Hashtbl.create (2 * Hashtbl.length t.tbl) in
+    Queue.iter
+      (fun vpn ->
+        if Hashtbl.mem t.tbl vpn && not (Hashtbl.mem seen vpn) then begin
+          Hashtbl.add seen vpn ();
+          Queue.push vpn keep
+        end)
+      t.fifo;
+    Queue.clear t.fifo;
+    Queue.transfer keep t.fifo
+  end
+
 let insert t ~vpn ~pfn ~writable =
   let entry = { pfn; writable } in
   if Hashtbl.mem t.tbl vpn then Hashtbl.replace t.tbl vpn entry
@@ -62,7 +85,8 @@ let insert t ~vpn ~pfn ~writable =
 let invalidate t vpn =
   if Hashtbl.mem t.tbl vpn then begin
     Hashtbl.remove t.tbl vpn;
-    note_drop t vpn
+    note_drop t vpn;
+    compact t
   end
 
 let invalidate_range t ~lo ~hi =
@@ -78,6 +102,8 @@ let invalidate_range t ~lo ~hi =
     in
     List.iter (invalidate t) doomed
   end
+
+let queue_length t = Queue.length t.fifo
 
 let flush t =
   (match t.obs with

@@ -36,3 +36,9 @@ val flush : t -> unit
 
 val size : t -> int
 val mem : t -> int -> bool
+
+val queue_length : t -> int
+(** Length of the internal FIFO replacement queue, including entries made
+    stale by invalidation. Bounded by roughly twice the capacity — stale
+    entries are compacted away once they dominate — which is the invariant
+    the leak-regression tests assert. *)

@@ -1,0 +1,35 @@
+(** A minimal JSON tree, emitter, and parser — just enough for the
+    benchmark harness's machine-readable artifacts ([BENCH_*.json]) and
+    their validation, with no external dependencies.
+
+    Emission is deterministic: object keys are written in the order given,
+    floats through a fixed shortest-decimal formatter, so two runs that
+    compute the same values produce byte-identical documents (the property
+    the [--jobs] determinism guarantee is checked against). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] puts each list element and object
+    field on its own line (stable two-space indentation) so artifact diffs
+    are line-oriented. Non-finite floats emit as [null]. *)
+
+val to_file : ?pretty:bool -> string -> t -> unit
+(** Write [to_string] plus a trailing newline to a file, atomically enough
+    for our purposes (single [open]/[output]/[close]). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. Numbers
+    without [.], [e] or [E] parse as [Int], others as [Float]. *)
+
+val of_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on other constructors. *)

@@ -1,7 +1,8 @@
 open Ccsim
 
 type obj = {
-  oid : int;
+  oid : int;  (* process-global identity, for the event stream *)
+  seq : int;  (* per-instance creation index, for delta-cache hashing *)
   label : string;
   refcnt : int Cell.t;  (* the global count, on its own line *)
   lock : Lock.t;
@@ -27,6 +28,7 @@ type t = {
   mutable global_epoch : int;
   flushed : bool array;
   mutable nflushed : int;
+  mutable next_seq : int;  (* per-instance; deterministic for a given run *)
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
@@ -34,15 +36,20 @@ let is_power_of_two n = n > 0 && n land (n - 1) = 0
 (* Object ids are process-global (like line and lock ids), not
    per-instance: a machine can host several Refcache instances (the radix
    tree's node counts and the VM's frame counts, say) whose [Rc_*] events
-   share one stream, so ids from different instances must never collide. *)
-let next_oid = ref 0
+   share one stream, so ids from different instances must never collide.
+   Atomic, because the benchmark harness runs independent simulations on
+   concurrent domains and colliding oids would silently corrupt the
+   checkers' ledgers. *)
+let next_oid = Atomic.make 0
+let fresh_oid () = Atomic.fetch_and_add next_oid 1
 
-let fresh_oid () =
-  let oid = !next_oid in
-  incr next_oid;
-  oid
-
-let hash_obj t obj = obj.oid * 0x9E3779B1 land t.mask
+(* Hash the per-instance sequence number, NOT the process-global oid:
+   oids interleave arbitrarily when the benchmark pool runs simulations on
+   concurrent domains, and hashing them would let one job's allocations
+   perturb another job's delta-cache conflict pattern (and therefore its
+   measured timings). The seq space restarts per instance, so every
+   simulation is a pure function of its own configuration. *)
+let hash_obj t obj = obj.seq * 0x9E3779B1 land t.mask
 
 let emit (core : Core.t) ev =
   let obs = core.Core.obs in
@@ -208,6 +215,7 @@ let create ?(cache_slots = 4096) machine =
       global_epoch = 0;
       flushed = Array.make n false;
       nflushed = 0;
+      next_seq = 0;
     }
   in
   Machine.add_maintenance machine
@@ -218,9 +226,12 @@ let create ?(cache_slots = 4096) machine =
 let make_obj ?(label = "refcache:obj") t (core : Core.t) ~init ~free =
   if init < 0 then invalid_arg "Refcache.make_obj: negative count";
   let oid = fresh_oid () in
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
   let obj =
     {
       oid;
+      seq;
       label;
       refcnt = Cell.make ~label core init;
       lock = Lock.create ~label core;

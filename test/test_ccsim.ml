@@ -242,6 +242,97 @@ let test_tlb_reinsert_after_evict () =
   Alcotest.(check (option int)) "replaced" (Some 5) (pfn_of (Tlb.lookup t 1));
   Alcotest.(check int) "no duplicate" 1 (Tlb.size t)
 
+(* Invalidation leaves stale vpns in the FIFO; eviction must still fire
+   in insertion order of the *live* entries, skipping the stale ones. *)
+let test_tlb_fifo_order_with_invalidations () =
+  let t = Tlb.create ~capacity:4 () in
+  for v = 1 to 4 do
+    Tlb.insert t ~vpn:v ~pfn:v ~writable:true
+  done;
+  Tlb.invalidate t 2;
+  (* Live order is now 1, 3, 4; one slot is free again. *)
+  Tlb.insert t ~vpn:5 ~pfn:5 ~writable:true;
+  Alcotest.(check bool) "below capacity: no eviction" true (Tlb.mem t 1);
+  Tlb.insert t ~vpn:6 ~pfn:6 ~writable:true;
+  Alcotest.(check bool) "oldest live (1) evicted" false (Tlb.mem t 1);
+  Alcotest.(check bool) "3 survives" true (Tlb.mem t 3);
+  Tlb.insert t ~vpn:7 ~pfn:7 ~writable:true;
+  (* 2 is stale: eviction skips it and takes 3, the next live entry. *)
+  Alcotest.(check bool) "stale 2 skipped, 3 evicted" false (Tlb.mem t 3);
+  Alcotest.(check bool) "4 survives" true (Tlb.mem t 4);
+  Alcotest.(check int) "at capacity" 4 (Tlb.size t)
+
+(* An munmap-heavy workload invalidates far more than it evicts. The
+   FIFO must not accumulate the stale vpns: compaction keeps it within
+   twice the capacity (plus the entry being processed). *)
+let test_tlb_queue_bounded_under_churn () =
+  let cap = 8 in
+  let t = Tlb.create ~capacity:cap () in
+  let max_qlen = ref 0 in
+  for i = 0 to 9_999 do
+    Tlb.insert t ~vpn:i ~pfn:i ~writable:true;
+    if i mod 3 <> 0 then Tlb.invalidate t i;
+    max_qlen := max !max_qlen (Tlb.queue_length t)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "queue bounded (max observed %d)" !max_qlen)
+    true
+    (!max_qlen <= (2 * cap) + 1);
+  Alcotest.(check bool) "live entries bounded" true (Tlb.size t <= cap)
+
+let test_tlb_invalidate_range_paths () =
+  (* Narrow range: the per-vpn loop path. *)
+  let t = Tlb.create ~capacity:64 () in
+  for v = 0 to 31 do
+    Tlb.insert t ~vpn:v ~pfn:v ~writable:true
+  done;
+  Tlb.invalidate_range t ~lo:4 ~hi:8;
+  Alcotest.(check int) "narrow range removed" 28 (Tlb.size t);
+  for v = 4 to 7 do
+    Alcotest.(check bool) "narrow: gone" false (Tlb.mem t v)
+  done;
+  (* Wide range (>= live count): the table-scan path. *)
+  Tlb.invalidate_range t ~lo:0 ~hi:1_000_000;
+  Alcotest.(check int) "wide range removed all" 0 (Tlb.size t);
+  (* Surviving entries still evict in order after a range invalidation. *)
+  let t2 = Tlb.create ~capacity:4 () in
+  for v = 0 to 3 do
+    Tlb.insert t2 ~vpn:v ~pfn:v ~writable:true
+  done;
+  Tlb.invalidate_range t2 ~lo:0 ~hi:2;
+  Tlb.insert t2 ~vpn:10 ~pfn:10 ~writable:true;
+  Tlb.insert t2 ~vpn:11 ~pfn:11 ~writable:true;
+  Tlb.insert t2 ~vpn:12 ~pfn:12 ~writable:true;
+  (* 2 was the oldest live entry; inserting past capacity evicts it. *)
+  Alcotest.(check bool) "post-range eviction order" false (Tlb.mem t2 2);
+  Alcotest.(check bool) "3 survives" true (Tlb.mem t2 3)
+
+(* ------------------------------------------------------------------ *)
+(* Process-global id counters: two domains allocating concurrently must
+   never observe the same id. *)
+
+let test_fresh_ids_domain_safe () =
+  let n = 10_000 in
+  let alloc fresh () = List.init n (fun _ -> fresh ()) in
+  let check_disjoint name fresh =
+    let d = Domain.spawn (alloc fresh) in
+    let mine = alloc fresh () in
+    let theirs = Domain.join d in
+    let seen = Hashtbl.create (4 * n) in
+    List.iter
+      (fun id ->
+        if Hashtbl.mem seen id then
+          Alcotest.failf "%s: id %d allocated twice" name id;
+        Hashtbl.add seen id ())
+      (mine @ theirs);
+    Alcotest.(check int)
+      (name ^ ": all distinct")
+      (2 * n) (Hashtbl.length seen)
+  in
+  check_disjoint "line ids" Obs.fresh_line_id;
+  check_disjoint "lock ids" Obs.fresh_lock_id;
+  check_disjoint "asids" Obs.fresh_asid
+
 (* ------------------------------------------------------------------ *)
 (* Physical memory                                                     *)
 
@@ -485,7 +576,14 @@ let () =
           tc "capacity fifo" `Quick test_tlb_capacity_fifo;
           tc "range and flush" `Quick test_tlb_range_and_flush;
           tc "reinsert" `Quick test_tlb_reinsert_after_evict;
+          tc "fifo order with invalidations" `Quick
+            test_tlb_fifo_order_with_invalidations;
+          tc "queue bounded under churn" `Quick
+            test_tlb_queue_bounded_under_churn;
+          tc "invalidate_range paths" `Quick test_tlb_invalidate_range_paths;
         ] );
+      ( "ids",
+        [ tc "domain-safe counters" `Quick test_fresh_ids_domain_safe ] );
       ( "physmem",
         [
           tc "alloc free" `Quick test_physmem_alloc_free;

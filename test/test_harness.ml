@@ -1,0 +1,183 @@
+(* Tests for the benchmark harness: the Domains worker pool, the
+   hand-rolled JSON layer, and the end-to-end guarantee that a parallel
+   sweep produces byte-identical artifacts to a serial one. *)
+
+module Pool = Harness.Pool
+module Json = Harness.Json
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let test_pool_preserves_order () =
+  (* Job i sleeps inversely to its index, so completion order is the
+     reverse of submission order; results must come back in submission
+     order anyway. *)
+  let n = 12 in
+  let jobs =
+    List.init n (fun i ->
+        Pool.job ~name:(string_of_int i) (fun () ->
+            Unix.sleepf (0.001 *. float_of_int (n - i));
+            i))
+  in
+  List.iter
+    (fun jobs_n ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "order with jobs=%d" jobs_n)
+        (List.init n Fun.id)
+        (Pool.run ~jobs:jobs_n jobs))
+    [ 1; 2; 4; 32 ]
+
+let test_pool_serial_runs_in_caller () =
+  (* jobs=1 must not spawn domains: the jobs run in the calling domain,
+     in order, observable through plain (unsynchronized) state. *)
+  let self = Domain.self () in
+  let trace = ref [] in
+  let jobs =
+    List.init 5 (fun i ->
+        Pool.job ~name:(string_of_int i) (fun () ->
+            Alcotest.(check bool) "same domain" true (Domain.self () = self);
+            trace := i :: !trace;
+            i * i))
+  in
+  let results = Pool.run ~jobs:1 jobs in
+  Alcotest.(check (list int)) "results" [ 0; 1; 4; 9; 16 ] results;
+  Alcotest.(check (list int)) "executed in order" [ 4; 3; 2; 1; 0 ] !trace
+
+let test_pool_propagates_failure () =
+  let jobs =
+    List.init 8 (fun i ->
+        Pool.job ~name:(Printf.sprintf "job%d" i) (fun () ->
+            if i = 3 || i = 6 then failwith "boom";
+            i))
+  in
+  List.iter
+    (fun jobs_n ->
+      match Pool.run ~jobs:jobs_n jobs with
+      | _ -> Alcotest.fail "expected Job_failed"
+      | exception Pool.Job_failed (name, Failure m) ->
+          (* The first failure in submission order wins, at any width. *)
+          Alcotest.(check string) "failing job" "job3" name;
+          Alcotest.(check string) "original exn" "boom" m
+      | exception e -> raise e)
+    [ 1; 4 ]
+
+let test_pool_clamps_width () =
+  (* More workers than jobs, zero workers, empty job list: all legal. *)
+  Alcotest.(check (list int))
+    "more workers than jobs" [ 7 ]
+    (Pool.run ~jobs:64 [ Pool.job ~name:"one" (fun () -> 7) ]);
+  Alcotest.(check (list int))
+    "non-positive width" [ 1; 2 ]
+    (Pool.run ~jobs:0
+       [ Pool.job ~name:"a" (fun () -> 1); Pool.job ~name:"b" (fun () -> 2) ]);
+  Alcotest.(check (list int)) "empty" [] (Pool.run ~jobs:4 [])
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+let sample =
+  Json.Obj
+    [
+      ("name", Json.String "fig5 \"quick\"\n");
+      ("cores", Json.List [ Json.Int 1; Json.Int 4; Json.Int 16 ]);
+      ("rate", Json.Float 582_000.0);
+      ("ratio", Json.Float 3.25);
+      ("clean", Json.Bool true);
+      ("missing", Json.Null);
+      ("empty_list", Json.List []);
+      ("empty_obj", Json.Obj []);
+    ]
+
+let rec json_equal a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Int x, Json.Int y -> x = y
+  | Json.Float x, Json.Float y -> x = y
+  | Json.String x, Json.String y -> x = y
+  | Json.List x, Json.List y ->
+      List.length x = List.length y && List.for_all2 json_equal x y
+  | Json.Obj x, Json.Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> k1 = k2 && json_equal v1 v2)
+           x y
+  | _ -> false
+
+let test_json_roundtrip () =
+  List.iter
+    (fun pretty ->
+      match Json.of_string (Json.to_string ~pretty sample) with
+      | Ok parsed ->
+          Alcotest.(check bool)
+            (Printf.sprintf "roundtrip pretty=%b" pretty)
+            true (json_equal sample parsed)
+      | Error m -> Alcotest.failf "parse failed: %s" m)
+    [ false; true ]
+
+let test_json_float_repr () =
+  (* Whole floats must not print as the invalid-JSON "1."; non-finite
+     values have no JSON spelling and degrade to null. *)
+  Alcotest.(check string) "whole float" "582000.0"
+    (Json.to_string (Json.Float 582_000.0));
+  Alcotest.(check string) "fractional" "3.25" (Json.to_string (Json.Float 3.25));
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf" "null"
+    (Json.to_string (Json.Float Float.infinity))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok _ -> Alcotest.failf "accepted invalid input %S" bad
+      | Error _ -> ())
+    [
+      ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2";
+      "{\"a\":1,}"; "[1 2]"; "nulll";
+    ]
+
+let test_json_member () =
+  Alcotest.(check bool) "present" true
+    (Json.member "cores" sample <> None);
+  Alcotest.(check bool) "absent" true (Json.member "nope" sample = None);
+  Alcotest.(check bool) "non-object" true (Json.member "x" Json.Null = None)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: a parallel sweep must be indistinguishable from a serial
+   one. Render the quick Figure 5 sweep (with the checker attached) at
+   jobs=1 and jobs=4 and require byte-identical JSON. *)
+
+let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let test_fig5_deterministic_across_jobs () =
+  let run jobs =
+    let ctx = { Figures.quick = true; check = true; jobs; ppf = null_ppf } in
+    match Figures.run_target ctx "fig5" with
+    | Some out -> Json.to_string ~pretty:true out.Figures.json
+    | None -> Alcotest.fail "fig5 target missing"
+  in
+  let serial = run 1 in
+  let parallel = run 4 in
+  Alcotest.(check string) "serial = 4-domain sweep" serial parallel
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "harness"
+    [
+      ( "pool",
+        [
+          tc "submission order" `Quick test_pool_preserves_order;
+          tc "serial path" `Quick test_pool_serial_runs_in_caller;
+          tc "failure propagation" `Quick test_pool_propagates_failure;
+          tc "width clamping" `Quick test_pool_clamps_width;
+        ] );
+      ( "json",
+        [
+          tc "roundtrip" `Quick test_json_roundtrip;
+          tc "float repr" `Quick test_json_float_repr;
+          tc "parse errors" `Quick test_json_parse_errors;
+          tc "member" `Quick test_json_member;
+        ] );
+      ( "determinism",
+        [ tc "fig5 serial = parallel" `Quick test_fig5_deterministic_across_jobs ] );
+    ]

@@ -340,6 +340,30 @@ let test_shared_counter_contention_visible () =
     "every core transferred the counter line" true
     (Stats.total_transfers s >= 7)
 
+(* Object ids are the event stream's identity and are drawn from one
+   process-global counter; two domains building independent simulations
+   concurrently must never observe the same oid. (No checker here: the
+   [machine] helper's bookkeeping is not meant for concurrent use.) *)
+let test_oids_disjoint_across_domains () =
+  let n = 2_000 in
+  let alloc () =
+    let m = Machine.create (Params.default ~ncores:2 ~epoch_cycles:epoch ()) in
+    let rc = Refcache.create m in
+    let c0 = Machine.core m 0 in
+    List.init n (fun _ ->
+        Refcache.oid (Refcache.make_obj rc c0 ~init:1 ~free:(fun _ -> ())))
+  in
+  let d = Domain.spawn alloc in
+  let mine = alloc () in
+  let theirs = Domain.join d in
+  let seen = Hashtbl.create (4 * n) in
+  List.iter
+    (fun id ->
+      if Hashtbl.mem seen id then Alcotest.failf "oid %d allocated twice" id;
+      Hashtbl.add seen id ())
+    (mine @ theirs);
+  Alcotest.(check int) "all oids distinct" (2 * n) (Hashtbl.length seen)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "refcnt"
@@ -351,6 +375,8 @@ let () =
           tc "batching avoids traffic" `Quick test_batching_no_global_writes;
           tc "reordered flush" `Quick test_reordered_flush_no_false_free;
           tc "dirty zero" `Quick test_dirty_zero_delays_but_frees;
+          tc "oids disjoint across domains" `Quick
+            test_oids_disjoint_across_domains;
         ] );
       ( "weakref",
         [
