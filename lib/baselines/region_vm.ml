@@ -195,7 +195,7 @@ struct
     let stats = core.Core.stats in
     stats.Stats.pagefaults <- stats.Stats.pagefaults + 1;
     L.read_lock core t.lock;
-    let result =
+    match
       match Ix.floor core t.index vpn with
       | Some (_, v) when vma_end v > vpn ->
           if write && v.prot = Vm_types.Read_only then Vm_types.Segfault
@@ -218,9 +218,19 @@ struct
             Vm_types.Ok
           end
       | _ -> Vm_types.Segfault
-    in
-    L.read_unlock core t.lock;
-    result
+    with
+    | result ->
+        L.read_unlock core t.lock;
+        result
+    | exception Physmem.Out_of_frames ->
+        (* Frame budget exhausted mid-fault: nothing was installed.
+           Release the lock and report memory pressure instead of
+           corrupting the address space. *)
+        L.read_unlock core t.lock;
+        Vm_types.Oom
+    | exception e ->
+        L.read_unlock core t.lock;
+        raise e
 
   let access t (core : Core.t) ~vpn ~write =
     Bitset.add t.ever_active core.Core.id;

@@ -7,6 +7,7 @@ type t = {
   mutable clock : int;
   mutable pending_intr : int;
   rng : Random.State.t;
+  mutable fault : Fault.t option;
 }
 
 let create ?obs params stats ~id =
@@ -19,6 +20,7 @@ let create ?obs params stats ~id =
     clock = 0;
     pending_intr = 0;
     rng = Random.State.make [| 0x5eed; id |];
+    fault = None;
   }
 
 let tick c n =

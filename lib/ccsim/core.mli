@@ -16,6 +16,10 @@ type t = {
       (** interrupt-handler cycles charged by IPIs received while this core
           was logically behind; folded into [clock] at its next step *)
   rng : Random.State.t;  (** deterministic per-core randomness *)
+  mutable fault : Fault.t option;
+      (** the machine's fault-injection plan, if one is attached
+          ({!Machine.set_fault}); consulted by {!Lock} and the VM layers'
+          injection points *)
 }
 
 val create : ?obs:Obs.t -> Params.t -> Stats.t -> id:int -> t

@@ -1,0 +1,137 @@
+type ipi_response = Prompt | Delayed of int | Stalled
+
+exception Injected_abort of { op : string; point : string }
+
+type abort_rule = { a_op : string; a_point : string option; a_prob : float }
+
+type t = {
+  fseed : int;
+  rng : Random.State.t;
+  mutable budget : int option;
+  ipi : (int, ipi_response) Hashtbl.t;
+  mutable lock_rules : (string * float) list;  (* label -> probability *)
+  mutable abort_rules : abort_rule list;
+  mutable suppress : int;  (* re-entrant suppression depth *)
+  mutable broken : bool;
+  mutable n_oom : int;
+  mutable n_aborts : int;
+  mutable n_lock_timeouts : int;
+  mutable n_ipi_delays : int;
+  mutable n_ipi_abandoned : int;
+}
+
+let create ?(seed = 0) () =
+  {
+    fseed = seed;
+    rng = Random.State.make [| 0xfa_017; seed |];
+    budget = None;
+    ipi = Hashtbl.create 8;
+    lock_rules = [];
+    abort_rules = [];
+    suppress = 0;
+    broken = false;
+    n_oom = 0;
+    n_aborts = 0;
+    n_lock_timeouts = 0;
+    n_ipi_delays = 0;
+    n_ipi_abandoned = 0;
+  }
+
+let seed t = t.fseed
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+let set_frame_budget t b =
+  (match b with
+  | Some n when n < 0 -> invalid_arg "Fault.set_frame_budget"
+  | _ -> ());
+  t.budget <- b
+
+let frame_budget t = t.budget
+
+let delay_ipi t ~core ~cycles =
+  if cycles < 0 then invalid_arg "Fault.delay_ipi";
+  Hashtbl.replace t.ipi core (Delayed cycles)
+
+let stall_ipi t ~core = Hashtbl.replace t.ipi core Stalled
+let clear_ipi t ~core = Hashtbl.remove t.ipi core
+
+let ipi_response t ~core =
+  match Hashtbl.find_opt t.ipi core with Some r -> r | None -> Prompt
+
+let ipi_faults_active t = Hashtbl.length t.ipi > 0
+
+let check_prob ~fn p =
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg ("Fault." ^ fn)
+
+let timeout_locks t ~label ~prob =
+  check_prob ~fn:"timeout_locks" prob;
+  t.lock_rules <- (label, prob) :: List.remove_assoc label t.lock_rules
+
+let abort_ops t ~op ?point ~prob () =
+  check_prob ~fn:"abort_ops" prob;
+  t.abort_rules <- { a_op = op; a_point = point; a_prob = prob } :: t.abort_rules
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path queries                                                    *)
+
+let suppressed t = t.suppress > 0
+
+let abort_now t ~op ~point =
+  if t.suppress = 0 then
+    List.iter
+      (fun r ->
+        if
+          r.a_op = op
+          && (match r.a_point with None -> true | Some p -> p = point)
+          && Random.State.float t.rng 1.0 < r.a_prob
+        then begin
+          t.n_aborts <- t.n_aborts + 1;
+          raise (Injected_abort { op; point })
+        end)
+      t.abort_rules
+
+let forced_lock_timeout t ~label =
+  t.suppress = 0
+  && (match List.assoc_opt label t.lock_rules with
+     | None -> false
+     | Some p ->
+         Random.State.float t.rng 1.0 < p
+         && begin
+              t.n_lock_timeouts <- t.n_lock_timeouts + 1;
+              true
+            end)
+
+let with_suppressed fo f =
+  match fo with
+  | None -> f ()
+  | Some t ->
+      t.suppress <- t.suppress + 1;
+      Fun.protect ~finally:(fun () -> t.suppress <- t.suppress - 1) f
+
+(* ------------------------------------------------------------------ *)
+(* Known-bad mode and counters                                         *)
+
+let set_break_rollback t b = t.broken <- b
+let rollback_broken t = t.broken
+let note_oom t = t.n_oom <- t.n_oom + 1
+let injected_oom t = t.n_oom
+let injected_aborts t = t.n_aborts
+let injected_lock_timeouts t = t.n_lock_timeouts
+let note_ipi_delay t = t.n_ipi_delays <- t.n_ipi_delays + 1
+let ipi_delays t = t.n_ipi_delays
+let note_ipi_abandoned t = t.n_ipi_abandoned <- t.n_ipi_abandoned + 1
+let ipi_abandoned t = t.n_ipi_abandoned
+
+let pp ppf t =
+  let budget =
+    match t.budget with Some n -> string_of_int n | None -> "none"
+  in
+  Format.fprintf ppf
+    "fault<seed=%d budget=%s ipi=%d locks=%d aborts=%d | oom=%d abort=%d \
+     lk-timeout=%d ipi-delay=%d abandoned=%d>"
+    t.fseed budget (Hashtbl.length t.ipi)
+    (List.length t.lock_rules)
+    (List.length t.abort_rules)
+    t.n_oom t.n_aborts t.n_lock_timeouts t.n_ipi_delays t.n_ipi_abandoned

@@ -12,4 +12,12 @@ val multicast : Machine.t -> Core.t -> targets:int list -> unit
 (** [multicast m sender ~targets] sends one IPI to each core in [targets]
     (the sender itself is skipped if listed) and blocks the sender until the
     last acknowledgment. Counts one shootdown event even when [targets] is
-    empty or self-only. *)
+    empty or self-only.
+
+    When the machine's fault plan delays or stalls acknowledgments
+    ({!Fault.delay_ipi}, {!Fault.stall_ipi}), the sender instead waits at
+    most [Params.ipi_ack_timeout] cycles per target (doubling per retry,
+    counted in [Stats.shootdown_retries]) and abandons a target after
+    [Params.ipi_max_retries] attempts — safe because the invalidations
+    themselves happen before the IPI; only the handshake is lost. Without
+    such a plan the wait is unbounded, exactly the legacy timing. *)

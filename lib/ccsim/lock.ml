@@ -66,13 +66,17 @@ let release (core : Core.t) t =
          rd = false;
        })
 
-let try_acquire (core : Core.t) t =
+let try_acquire ?(timeout = 0) (core : Core.t) t =
+  if timeout < 0 then invalid_arg "Lock.try_acquire: timeout";
   let stats = core.Core.stats in
   stats.Stats.lock_acquires <- stats.Stats.lock_acquires + 1;
   quiet_write core t;
   let now = Core.now core in
-  if t.free_time > now then begin
+  (* A failed timed attempt spins its whole budget before giving up;
+     the legacy [timeout = 0] attempt is an instantaneous test-and-set. *)
+  let fail ~spin =
     stats.Stats.lock_contended <- stats.Stats.lock_contended + 1;
+    Core.tick core spin;
     emit core
       (Obs.Write
          {
@@ -82,8 +86,21 @@ let try_acquire (core : Core.t) t =
            kind = Obs.Sync;
          });
     false
-  end
+  in
+  let forced =
+    match core.Core.fault with
+    | Some f -> Fault.forced_lock_timeout f ~label:t.label
+    | None -> false
+  in
+  if forced then fail ~spin:timeout
+  else if t.free_time > now + timeout then fail ~spin:timeout
   else begin
+    if t.free_time > now then begin
+      stats.Stats.lock_contended <- stats.Stats.lock_contended + 1;
+      stats.Stats.lock_wait_cycles <-
+        stats.Stats.lock_wait_cycles + (t.free_time - now);
+      core.Core.clock <- t.free_time
+    end;
     emit core
       (Obs.Acquire
          {

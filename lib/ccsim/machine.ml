@@ -9,6 +9,7 @@ type t = {
   workloads : (unit -> bool) option array;
   mutable maints : maint list;
   mutable ipi_free : int;
+  mutable fault : Fault.t option;
 }
 
 let create params =
@@ -25,8 +26,15 @@ let create params =
     workloads = Array.make params.Params.ncores None;
     maints = [];
     ipi_free = 0;
+    fault = None;
   }
 
+let set_fault t f =
+  t.fault <- f;
+  Array.iter (fun (c : Core.t) -> c.Core.fault <- f) t.cores;
+  Physmem.set_fault t.physmem f
+
+let fault t = t.fault
 let params t = t.params
 let stats t = t.stats
 let obs t = t.obs

@@ -26,6 +26,15 @@ val ncores : t -> int
 val core : t -> int -> Core.t
 val cores : t -> Core.t array
 
+val set_fault : t -> Fault.t option -> unit
+(** Attach a fault-injection plan (or detach with [None]): the plan is
+    propagated to every core and to physical memory, and from there
+    consulted by {!Physmem.alloc}, {!Ipi.multicast}, {!Lock.try_acquire},
+    and the VM layers' injection points. No plan attached (the default)
+    means the fault machinery costs nothing. *)
+
+val fault : t -> Fault.t option
+
 val set_workload : t -> int -> (unit -> bool) -> unit
 (** [set_workload t i step] installs [step] on core [i]. *)
 

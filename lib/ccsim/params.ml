@@ -10,6 +10,8 @@ type t = {
   ipi_channel : int;
   ipi_deliver : int;
   ipi_handler : int;
+  ipi_ack_timeout : int;
+  ipi_max_retries : int;
   tlb_hit : int;
   tlb_entries : int;
   hw_walk_base : int;
@@ -33,6 +35,8 @@ let default ?(ncores = 80) ?(epoch_cycles = 1_000_000) () =
     ipi_channel = 100;
     ipi_deliver = 1_500;
     ipi_handler = 2_500;
+    ipi_ack_timeout = 250_000;
+    ipi_max_retries = 5;
     tlb_hit = 1;
     tlb_entries = 512;
     hw_walk_base = 40;

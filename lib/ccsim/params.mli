@@ -25,6 +25,13 @@ type t = {
           machine-wide shootdown storms queue *)
   ipi_deliver : int;  (** latency from send to remote delivery *)
   ipi_handler : int;  (** remote interrupt-handler execution cost *)
+  ipi_ack_timeout : int;
+      (** sender-side wait per shootdown target before re-interrupting it;
+          doubles per retry. Only consulted when an attached fault plan
+          delays or stalls acknowledgments ({!Fault.delay_ipi}) — fault-free
+          senders wait unboundedly, as real shootdown code does *)
+  ipi_max_retries : int;
+      (** re-interrupt attempts per target before the sender abandons it *)
   tlb_hit : int;  (** access through a cached translation *)
   tlb_entries : int;  (** per-core TLB capacity *)
   hw_walk_base : int;  (** fixed cost of a hardware page-table walk *)

@@ -1,3 +1,6 @@
+exception Out_of_frames
+exception Double_free of int
+
 type t = {
   params : Params.t;
   stats : Stats.t;
@@ -6,7 +9,9 @@ type t = {
   list_lines : Line.t array;  (* cache line of each free-list head *)
   home : (int, int) Hashtbl.t;  (* frame -> home core *)
   content : (int, int) Hashtbl.t;  (* frame -> one-word content summary *)
+  allocated : (int, unit) Hashtbl.t;  (* liveness: frames currently out *)
   mutable live : int;
+  mutable fault : Fault.t option;
 }
 
 let create params stats =
@@ -22,10 +27,22 @@ let create params stats =
             ~home_socket:(Params.socket_of_core params i));
     home = Hashtbl.create 4096;
     content = Hashtbl.create 4096;
+    allocated = Hashtbl.create 4096;
     live = 0;
+    fault = None;
   }
 
+let set_fault t f = t.fault <- f
+
 let alloc t (core : Core.t) =
+  (match t.fault with
+  | Some f -> (
+      match Fault.frame_budget f with
+      | Some budget when t.live >= budget ->
+          Fault.note_oom f;
+          raise Out_of_frames
+      | Some _ | None -> ())
+  | None -> ());
   let id = core.Core.id in
   (* Modeled lock-free per-core free list: pops and remote pushes are
      hardware atomics on the list-head line. *)
@@ -43,10 +60,14 @@ let alloc t (core : Core.t) =
   in
   t.stats.Stats.frames_allocated <- t.stats.Stats.frames_allocated + 1;
   t.live <- t.live + 1;
+  Hashtbl.replace t.allocated frame ();
   (* zero-fill *)
   Hashtbl.replace t.content frame 0;
   Core.tick core t.params.Params.page_zero;
   frame
+
+let try_alloc t core =
+  match alloc t core with f -> Some f | exception Out_of_frames -> None
 
 let free t (core : Core.t) frame =
   let home =
@@ -54,10 +75,18 @@ let free t (core : Core.t) frame =
     | Some h -> h
     | None -> invalid_arg "Physmem.free: unknown frame"
   in
+  (* A frame that is known but not live is being freed twice. Without the
+     liveness check the second free would silently push the frame onto the
+     free list again — two later allocs would hand out the same frame —
+     and [live] would go negative. *)
+  if not (Hashtbl.mem t.allocated frame) then raise (Double_free frame);
+  Hashtbl.remove t.allocated frame;
   Line.write_atomic core t.list_lines.(home);
   t.free_lists.(home) <- frame :: t.free_lists.(home);
   t.stats.Stats.frames_freed <- t.stats.Stats.frames_freed + 1;
   t.live <- t.live - 1
+
+let is_live t frame = Hashtbl.mem t.allocated frame
 
 let set_content t frame v = Hashtbl.replace t.content frame v
 

@@ -10,13 +10,37 @@
 
 type t
 
+exception Out_of_frames
+(** Raised by {!alloc} when an attached fault plan's frame budget
+    ({!Fault.set_frame_budget}) is exhausted. Never raised otherwise —
+    without a budget, simulated memory is unbounded. *)
+
+exception Double_free of int
+(** Raised by {!free} for a frame that is not currently allocated: the
+    payload is the frame number. (Freeing a frame twice would otherwise
+    silently put it on the free list twice, so two later allocations
+    would share it.) *)
+
 val create : Params.t -> Stats.t -> t
 
+val set_fault : t -> Fault.t option -> unit
+(** Attach (or detach) the fault plan consulted by {!alloc}; installed by
+    {!Machine.set_fault}. *)
+
 val alloc : t -> Core.t -> int
-(** Allocate (and zero) a frame for [core]. *)
+(** Allocate (and zero) a frame for [core].
+    @raise Out_of_frames when a fault plan's frame budget is exhausted. *)
+
+val try_alloc : t -> Core.t -> int option
+(** [alloc] returning [None] instead of raising {!Out_of_frames}. *)
 
 val free : t -> Core.t -> int -> unit
-(** Return a frame to its home core's free list. *)
+(** Return a frame to its home core's free list.
+    @raise Double_free if the frame is not currently allocated.
+    @raise Invalid_argument if the frame was never allocated at all. *)
+
+val is_live : t -> int -> bool
+(** Is the frame currently allocated? (Uncharged; for tests.) *)
 
 val live_frames : t -> int
 (** Frames currently allocated (for leak tests and memory accounting). *)

@@ -10,6 +10,7 @@ type t = {
   mutable ipis : int;
   mutable shootdown_events : int;
   mutable shootdown_targets : int;
+  mutable shootdown_retries : int;
   mutable shootdown_wait_cycles : int;
   mutable tlb_hits : int;
   mutable tlb_misses : int;
@@ -36,6 +37,7 @@ let create () =
     ipis = 0;
     shootdown_events = 0;
     shootdown_targets = 0;
+    shootdown_retries = 0;
     shootdown_wait_cycles = 0;
     tlb_hits = 0;
     tlb_misses = 0;
@@ -61,6 +63,7 @@ let reset t =
   t.ipis <- 0;
   t.shootdown_events <- 0;
   t.shootdown_targets <- 0;
+  t.shootdown_retries <- 0;
   t.shootdown_wait_cycles <- 0;
   t.tlb_hits <- 0;
   t.tlb_misses <- 0;
@@ -83,13 +86,14 @@ let pp ppf t =
      dram fills       %d@,\
      line stall cyc   %d@,\
      lock acq/cont    %d/%d (wait %d cyc)@,\
-     ipis             %d (%d rounds, %d targets, wait %d cyc)@,\
+     ipis             %d (%d rounds, %d targets, %d retries, wait %d cyc)@,\
      tlb hit/miss     %d/%d (hw walks %d)@,\
      faults           %d (fill %d, alloc %d)@,\
      frames +/-       %d/%d@,\
      mmap/munmap      %d/%d@]"
     t.l1_hits t.transfers_local t.transfers_remote t.dram_fills
     t.line_stall_cycles t.lock_acquires t.lock_contended t.lock_wait_cycles
-    t.ipis t.shootdown_events t.shootdown_targets t.shootdown_wait_cycles
+    t.ipis t.shootdown_events t.shootdown_targets t.shootdown_retries
+    t.shootdown_wait_cycles
     t.tlb_hits t.tlb_misses t.hw_walks t.pagefaults t.fill_faults
     t.alloc_faults t.frames_allocated t.frames_freed t.mmaps t.munmaps

@@ -17,6 +17,9 @@ type t = {
   mutable ipis : int;  (** individual inter-processor interrupts *)
   mutable shootdown_events : int;  (** shootdown rounds (one per munmap) *)
   mutable shootdown_targets : int;  (** total cores targeted *)
+  mutable shootdown_retries : int;
+      (** targets re-interrupted after an acknowledgment timeout (only
+          nonzero under fault injection) *)
   mutable shootdown_wait_cycles : int;
   mutable tlb_hits : int;
   mutable tlb_misses : int;

@@ -66,12 +66,30 @@ type lstate = Virgin | Exclusive of int | Shared | Shared_mod
 type line_rec = {
   lr_label : string;
   mutable lr_state : lstate;
-  mutable lr_cand : IS.t;
+  mutable lr_cand : int array;
+      (* candidate lockset: sorted ascending, first [lr_cand_len] entries
+         valid. A plain array filtered in place: wide operations seed
+         thousands of candidates per line, and a persistent set paid a
+         tree rebuild on every refinement. *)
+  mutable lr_cand_len : int;
   mutable lr_readers : IS.t;
   mutable lr_writers : IS.t;
   mutable lr_reads : int;
   mutable lr_writes : int;
   mutable lr_raced : bool;  (* one report per line *)
+  (* Per-mode memo of the last candidate refinement: the core and that
+     core's release counter at the time. Refinement can only shrink the
+     candidate set when a candidate is released, so while the memo'd core
+     releases nothing the refinement is a no-op and is skipped. A wide
+     operation (a destroy locks the whole space) performs thousands of
+     line accesses per lock event; without the memo each one re-filters a
+     candidate set the size of the held stack. Write-mode refinement
+     filters against the stricter write-mode table, so it revalidates the
+     read memo as well, but not vice versa. *)
+  mutable lr_rd_core : int;
+  mutable lr_rd_ver : int;
+  mutable lr_wr_core : int;
+  mutable lr_wr_ver : int;
 }
 
 type rc_rec = {
@@ -85,6 +103,28 @@ type t = {
   machine : Machine.t;
   lines : (int, line_rec) Hashtbl.t;
   held : held_lock list array;  (* per core, most recent acquisition first *)
+  held_all : (int, int) Hashtbl.t array;
+      (* per core: lock id -> hold count, every mode. Incremental mirror
+         of [held] so lockset queries cost O(1) per lock instead of
+         rebuilding a set from the whole held list on every shared
+         access — a full-address-space operation holds thousands of slot
+         locks, and the rebuild made every access under it O(held). *)
+  held_wr : (int, int) Hashtbl.t array;
+      (* per core: lock id -> count of write-mode holds only *)
+  seen_locks : (int, unit) Hashtbl.t;
+      (* locks that have completed a first acquisition; see note_acquire *)
+  rel_ver : int array;  (* per core: total releases; versions the memos *)
+  rel_ring : int array array;
+      (* per core: the last [ring_size] released lock ids, indexed by
+         release number mod [ring_size]. Lets a refinement prove "no
+         candidate was released since the memo" with a few binary searches
+         instead of a full filter. *)
+  acq_ver : int array;  (* per core: total acquires; keys the seed cache *)
+  seed_cache : (int * int * int array) array;
+      (* per (core, write-mode): (acq_ver, rel_ver, sorted held lock ids)
+         at the time the entry was built. Lines transitioning to Shared
+         between two lock events seed identical candidate sets; the cache
+         builds the sorted array once per lock event instead of per line. *)
   edges : (int * int, lock_edge) Hashtbl.t;
   tlb : (int * int, unit) Hashtbl.t array;
       (* per core: (asid, vpn) pairs it may cache *)
@@ -103,12 +143,17 @@ let line_rec t line label =
         {
           lr_label = label;
           lr_state = Virgin;
-          lr_cand = IS.empty;
+          lr_cand = [||];
+          lr_cand_len = 0;
           lr_readers = IS.empty;
           lr_writers = IS.empty;
           lr_reads = 0;
           lr_writes = 0;
           lr_raced = false;
+          lr_rd_core = -1;
+          lr_rd_ver = -1;
+          lr_wr_core = -1;
+          lr_wr_ver = -1;
         }
       in
       Hashtbl.replace t.lines line r;
@@ -116,11 +161,101 @@ let line_rec t line label =
 
 (* The lockset protecting an access: read-mode rwlock acquisitions protect
    only reads (two readers cannot conflict, but a reader does not exclude a
-   writer). *)
-let lockset t ~core ~write =
-  List.fold_left
-    (fun acc h -> if write && h.hl_rd then acc else IS.add h.hl_lock acc)
-    IS.empty t.held.(core)
+   writer). The count tables mirror [held] incrementally; a line pays for a
+   full lockset materialisation once, at its Exclusive -> Shared
+   transition, and afterwards only filters its own candidate set — and the
+   per-mode memos skip even that while the owning core releases nothing. *)
+let held_table t ~core ~write = if write then t.held_wr.(core) else t.held_all.(core)
+
+let ring_size = 64
+
+(* Sorted array of the lock ids currently held by [core] (in [write] mode
+   when [write]), cached between lock events. Callers must not mutate the
+   returned array. *)
+let lockset_arr t ~core ~write =
+  let slot = (2 * core) + if write then 1 else 0 in
+  let acq, rel, arr = t.seed_cache.(slot) in
+  if acq = t.acq_ver.(core) && rel = t.rel_ver.(core) then arr
+  else begin
+    let tbl = held_table t ~core ~write in
+    let arr = Array.make (Hashtbl.length tbl) 0 in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun id _ ->
+        arr.(!i) <- id;
+        incr i)
+      tbl;
+    Array.sort compare arr;
+    t.seed_cache.(slot) <- (t.acq_ver.(core), t.rel_ver.(core), arr);
+    arr
+  end
+
+let cand_mem r id =
+  let lo = ref 0 and hi = ref r.lr_cand_len in
+  while !hi > !lo do
+    let mid = (!lo + !hi) / 2 in
+    if r.lr_cand.(mid) < id then lo := mid + 1 else hi := mid
+  done;
+  !lo < r.lr_cand_len && r.lr_cand.(!lo) = id
+
+let full_filter t r ~core ~write =
+  let tbl = held_table t ~core ~write in
+  let j = ref 0 in
+  for i = 0 to r.lr_cand_len - 1 do
+    let id = r.lr_cand.(i) in
+    if Hashtbl.mem tbl id then begin
+      r.lr_cand.(!j) <- id;
+      incr j
+    end
+  done;
+  r.lr_cand_len <- !j
+
+let mark_refined t r ~core ~write =
+  let ver = t.rel_ver.(core) in
+  (* A write-mode bound also bounds reads: write-mode holds are a subset
+     of all holds. The converse does not hold, so a read refinement leaves
+     the write memo alone. *)
+  if write then begin
+    r.lr_wr_core <- core;
+    r.lr_wr_ver <- ver
+  end;
+  r.lr_rd_core <- core;
+  r.lr_rd_ver <- ver
+
+(* Intersect the candidate set with the current lockset. Skipped entirely
+   when the memo proves the result unchanged: same core, and either no
+   release since, or none of the (few, ring-buffered) releases since was a
+   candidate. Releases are the only events that can shrink the set —
+   acquires only grow the held tables. *)
+let refine_cand t r ~core ~write =
+  let seen_core, seen_ver =
+    if write then (r.lr_wr_core, r.lr_wr_ver)
+    else (r.lr_rd_core, r.lr_rd_ver)
+  in
+  let ver = t.rel_ver.(core) in
+  let unchanged =
+    seen_core = core && seen_ver >= 0
+    && (ver = seen_ver
+       || ver - seen_ver <= ring_size
+          &&
+          let ring = t.rel_ring.(core) in
+          let clean = ref true in
+          for v = seen_ver to ver - 1 do
+            if cand_mem r ring.(v mod ring_size) then clean := false
+          done;
+          !clean)
+  in
+  if not unchanged then full_filter t r ~core ~write;
+  mark_refined t r ~core ~write
+
+let count_incr tbl id =
+  Hashtbl.replace tbl id (1 + Option.value ~default:0 (Hashtbl.find_opt tbl id))
+
+let count_decr tbl id =
+  match Hashtbl.find_opt tbl id with
+  | Some 1 -> Hashtbl.remove tbl id
+  | Some n -> Hashtbl.replace tbl id (n - 1)
+  | None -> ()  (* release without acquire: tolerated (attached mid-run) *)
 
 let note_census r ~core ~write =
   if write then begin
@@ -133,12 +268,9 @@ let note_census r ~core ~write =
   end
 
 let note_plain t r ~line ~core ~write =
-  let update_cand () =
-    let ls = lockset t ~core ~write in
-    r.lr_cand <- IS.inter r.lr_cand ls
-  in
+  let update_cand () = refine_cand t r ~core ~write in
   let report () =
-    if (not r.lr_raced) && IS.is_empty r.lr_cand then begin
+    if (not r.lr_raced) && r.lr_cand_len = 0 then begin
       r.lr_raced <- true;
       t.races <-
         {
@@ -156,7 +288,10 @@ let note_plain t r ~line ~core ~write =
   | Exclusive c when c = core -> ()
   | Exclusive _ ->
       (* Second core: the candidate set starts as this access's lockset. *)
-      r.lr_cand <- lockset t ~core ~write;
+      let seed = lockset_arr t ~core ~write in
+      r.lr_cand <- Array.copy seed;
+      r.lr_cand_len <- Array.length seed;
+      mark_refined t r ~core ~write;
       if write then begin
         r.lr_state <- Shared_mod;
         report ()
@@ -192,9 +327,19 @@ let note_acquire t ~core ~lock ~line ~label ~rd =
      reachability, and therefore cycle detection, matches recording an
      edge from every held lock. That full scheme is quadratic in range
      width under [Radix.lock_range] (one slot lock per page) and melts
-     down on wide ranges. *)
+     down on wide ranges.
+
+     A lock's very first acquisition orders against nothing: nascent
+     objects are born locked before they are published ([Radix.expand]
+     propagates the range's lock bits into the fresh child's slots while
+     the parent slot is still held), so no other core can be waiting on
+     such a lock and no deadlock can involve that acquisition. Recording
+     it would thread held-stack -> newborn edges through the graph and
+     report the birth pattern as a cycle. *)
+  let virgin = not (Hashtbl.mem t.seen_locks lock) in
+  if virgin then Hashtbl.replace t.seen_locks lock ();
   (match held with
-  | h :: _ when h.hl_lock <> lock ->
+  | h :: _ when (not virgin) && h.hl_lock <> lock ->
       if not (Hashtbl.mem t.edges (h.hl_lock, lock)) then
         Hashtbl.replace t.edges
           (h.hl_lock, lock)
@@ -207,6 +352,9 @@ let note_acquire t ~core ~lock ~line ~label ~rd =
             e_held = held;
           }
   | _ -> ());
+  count_incr t.held_all.(core) lock;
+  if not rd then count_incr t.held_wr.(core) lock;
+  t.acq_ver.(core) <- t.acq_ver.(core) + 1;
   t.held.(core) <-
     { hl_lock = lock; hl_label = label; hl_rd = rd } :: held
 
@@ -214,12 +362,24 @@ let note_release t ~core ~lock ~line ~label =
   t.accesses <- t.accesses + 1;
   let r = line_rec t line label in
   note_census r ~core ~write:true;
+  let dropped = ref None in
   let rec drop = function
     | [] -> []  (* release without acquire: tolerated (attached mid-run) *)
-    | h :: rest when h.hl_lock = lock -> rest
+    | h :: rest when h.hl_lock = lock && !dropped = None ->
+        dropped := Some h;
+        rest
     | h :: rest -> h :: drop rest
   in
-  t.held.(core) <- drop t.held.(core)
+  t.held.(core) <- drop t.held.(core);
+  (* Keep the count tables in step with the entry actually removed. *)
+  match !dropped with
+  | Some h ->
+      count_decr t.held_all.(core) lock;
+      if not h.hl_rd then count_decr t.held_wr.(core) lock;
+      let ver = t.rel_ver.(core) in
+      t.rel_ring.(core).(ver mod ring_size) <- lock;
+      t.rel_ver.(core) <- ver + 1
+  | None -> ()
 
 let note_rc t ~core ~oid ~label f =
   let r =
@@ -304,6 +464,13 @@ let attach machine =
       machine;
       lines = Hashtbl.create 4096;
       held = Array.make ncores [];
+      held_all = Array.init ncores (fun _ -> Hashtbl.create 64);
+      held_wr = Array.init ncores (fun _ -> Hashtbl.create 64);
+      seen_locks = Hashtbl.create 1024;
+      rel_ver = Array.make ncores 0;
+      rel_ring = Array.init ncores (fun _ -> Array.make ring_size (-1));
+      acq_ver = Array.make ncores 0;
+      seed_cache = Array.make (2 * ncores) (-1, -1, [||]);
       edges = Hashtbl.create 64;
       tlb = Array.init ncores (fun _ -> Hashtbl.create 64);
       rc = Hashtbl.create 1024;
@@ -341,6 +508,24 @@ let accesses t = t.accesses
 let races t = List.rev t.races
 let tlb_violations t = List.rev t.tlb_violations
 let rc_violations t = List.rev t.rc_violations
+
+(* Locks still recorded as held. Meaningful at quiescence: with every
+   operation complete, a non-empty held stack means some operation leaked
+   a lock — e.g. an exception path that skipped its unlock/rollback. *)
+type leaked_lock = { ll_core : int; ll_lock : int; ll_label : string }
+
+let leaked_locks t =
+  let acc = ref [] in
+  Array.iteri
+    (fun core held ->
+      List.iter
+        (fun h ->
+          acc :=
+            { ll_core = core; ll_lock = h.hl_lock; ll_label = h.hl_label }
+            :: !acc)
+        held)
+    t.held;
+  List.rev !acc
 
 let rc_count t ~oid =
   match Hashtbl.find_opt t.rc oid with
@@ -483,7 +668,7 @@ let cycles t =
 
 let ok ?allow t =
   races t = [] && cycles t = [] && tlb_violations t = []
-  && rc_violations t = []
+  && rc_violations t = [] && leaked_locks t = []
   && multi_writer_lines ?allow t = []
 
 (* ------------------------------------------------------------------ *)
@@ -503,13 +688,20 @@ let pp_race ppf r =
     (if r.race_write then "written" else "read")
     r.race_core pp_int_list r.race_cores
 
+(* A full-address-space operation can hold thousands of slot locks; cap
+   the printed stack so a report stays readable. *)
+let pp_held_cap = 8
+
 let pp_held ppf held =
+  let n = List.length held in
+  let shown = if n > pp_held_cap then List.filteri (fun i _ -> i < pp_held_cap) held else held in
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
     (fun ppf h ->
       Format.fprintf ppf "lock %d (%s%s)" h.hl_lock h.hl_label
         (if h.hl_rd then ", read-mode" else ""))
-    ppf held
+    ppf shown;
+  if n > pp_held_cap then Format.fprintf ppf ", ... %d more" (n - pp_held_cap)
 
 let pp_edge ppf e =
   Format.fprintf ppf
@@ -541,6 +733,10 @@ let pp_rc_violation ppf v =
   Format.fprintf ppf "refcount: object %d (%s) %s (on core %d)" v.rv_oid
     v.rv_label what v.rv_core
 
+let pp_leaked_lock ppf l =
+  Format.fprintf ppf "leaked lock: core %d still holds lock %d (%s)" l.ll_core
+    l.ll_lock l.ll_label
+
 let pp_line_info ppf li =
   Format.fprintf ppf "line %d (%s): writers %a, readers %a, %d w / %d r"
     li.li_line li.li_label pp_int_list li.li_writers pp_int_list li.li_readers
@@ -562,6 +758,7 @@ let report ?allow ppf t =
   and cycles = cycles t
   and tlbv = tlb_violations t
   and rcv = rc_violations t
+  and leaked = leaked_locks t
   and mw = multi_writer_lines ?allow t in
   Format.fprintf ppf "@[<v>check: %d accesses observed@," (accesses t);
   pp_census ppf (census t);
@@ -577,10 +774,12 @@ let report ?allow ppf t =
   section "lock-order cycles" pp_cycle cycles;
   section "stale TLB entries" pp_tlb_violation tlbv;
   section "refcount violations" pp_rc_violation rcv;
+  section "leaked locks" pp_leaked_lock leaked;
   section "multi-writer lines outside allowlist" pp_line_info mw;
   Format.fprintf ppf "@,verdict: %s@]"
     (if
-       races = [] && cycles = [] && tlbv = [] && rcv = [] && mw = []
+       races = [] && cycles = [] && tlbv = [] && rcv = [] && leaked = []
+       && mw = []
      then "PASS"
      else "FAIL")
 

@@ -59,6 +59,9 @@ type race = {
 
 type held_lock = { hl_lock : int; hl_label : string; hl_rd : bool }
 
+type leaked_lock = { ll_core : int; ll_lock : int; ll_label : string }
+(** A lock some core acquired and never released (see {!leaked_locks}). *)
+
 type lock_edge = {
   e_from : int;
   e_from_label : string;
@@ -122,7 +125,10 @@ val races : t -> race list
 val cycles : t -> cycle list
 (** One representative cycle per strongly-connected component of the
     lock-order graph. Empty means the acquisition order is a partial
-    order — no potential deadlock was observed. *)
+    order — no potential deadlock was observed. A lock's very first
+    acquisition records no edge: nascent objects are born locked before
+    they are published (see [Radix.expand]), so nothing can wait on that
+    acquisition and it cannot participate in a deadlock. *)
 
 val multi_writer_lines : ?allow:string list -> t -> line_info list
 (** Lines written by two or more cores whose label is not in [allow]. For
@@ -138,6 +144,12 @@ val tlb_violations : t -> tlb_violation list
 
 val rc_violations : t -> rc_violation list
 
+val leaked_locks : t -> leaked_lock list
+(** Locks still held according to the acquire/release stream. Meaningful
+    at quiescence (every operation complete): a leaked lock means some
+    exception path skipped its unlock — the checker that catches a VM
+    operation whose rollback was skipped. *)
+
 val rc_count : t -> oid:int -> int option
 (** The ledger's current count for object [oid] (as returned by
     {!Refcnt.Refcache.oid}); [None] if its creation was not observed.
@@ -150,7 +162,8 @@ val accesses : t -> int
 
 val ok : ?allow:string list -> t -> bool
 (** No races, no lock-order cycles, no stale TLB entries, no refcount
-    violations, and no multi-writer lines outside [allow]. *)
+    violations, no leaked locks, and no multi-writer lines outside
+    [allow]. *)
 
 val radixvm_allow : string list
 (** The documented allowlist for RadixVM on disjoint-region workloads:
@@ -173,4 +186,5 @@ val pp_race : Format.formatter -> race -> unit
 val pp_cycle : Format.formatter -> cycle -> unit
 val pp_tlb_violation : Format.formatter -> tlb_violation -> unit
 val pp_rc_violation : Format.formatter -> rc_violation -> unit
+val pp_leaked_lock : Format.formatter -> leaked_lock -> unit
 val pp_line_info : Format.formatter -> line_info -> unit

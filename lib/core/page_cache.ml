@@ -39,7 +39,7 @@ module Make (C : Refcnt.Counter_intf.S) = struct
   let get t (core : Core.t) ~file ~page =
     let b = bucket_of t ~file ~page in
     Lock.acquire core b.lock;
-    let entry =
+    match
       match Hashtbl.find_opt b.entries (file, page) with
       | Some e -> e
       | None ->
@@ -63,10 +63,16 @@ module Make (C : Refcnt.Counter_intf.S) = struct
           Hashtbl.replace b.entries (file, page) e;
           t.resident <- t.resident + 1;
           e
-    in
-    C.inc t.csub core entry.handle;
-    Lock.release core b.lock;
-    (entry.pfn, entry.handle)
+    with
+    | entry ->
+        C.inc t.csub core entry.handle;
+        Lock.release core b.lock;
+        (entry.pfn, entry.handle)
+    | exception e ->
+        (* Frame exhaustion on a miss: nothing was inserted — release the
+           bucket lock and let the fault path surface the failure. *)
+        Lock.release core b.lock;
+        raise e
 
   let evict t (core : Core.t) ~file ~page =
     let b = bucket_of t ~file ~page in

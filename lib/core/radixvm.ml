@@ -151,6 +151,39 @@ module Make (C : Refcnt.Counter_intf.S) = struct
   let drop_handles t core handles =
     List.iter (fun h -> C.dec t.csub core h) handles
 
+  (* ---------------------------------------------------------------- *)
+  (* Fault-injection plumbing. Every operation below is exception-safe:
+     whatever escapes its critical section (an injected abort, frame
+     exhaustion from [Physmem.alloc]) unwinds through a handler that
+     rolls the tree back to the pre-operation state and releases the
+     range lock, so a failed operation is a no-op. The [rollback_broken]
+     escape hatch deliberately skips that handling — it exists so tests
+     can prove the leak checkers catch a missing rollback. *)
+
+  let abort_point (core : Core.t) ~op ~point =
+    match core.Core.fault with
+    | None -> ()
+    | Some f -> Fault.abort_now f ~op ~point
+
+  let rollback_broken (core : Core.t) =
+    match core.Core.fault with
+    | Some f -> Fault.rollback_broken f
+    | None -> false
+
+  (* Reinstall the mappings a [clear_range] removed, page by page, undoing
+     a partially applied operation. The displaced records still own their
+     frame references (the caller must not have dropped the collected
+     handles), so putting the same records back restores the refcount
+     picture exactly. Pages of a folded run go back as per-page slots
+     sharing one record — the same sharing [Radix.expand] produces. *)
+  let reinstate t core lk removed =
+    List.iter
+      (fun (vpn, count, m) ->
+        for p = vpn to vpn + count - 1 do
+          Radix.set_page t.tree core lk p m
+        done)
+      removed
+
   let mmap t (core : Core.t) ~vpn ~npages ?(prot = Vm_types.Read_write)
       ?(backing = Vm_types.Anon) () =
     if npages <= 0 then invalid_arg "Radixvm.mmap: npages";
@@ -160,11 +193,29 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     Core.tick core core.Core.params.Params.op_cost;
     let lo = vpn and hi = vpn + npages in
     let lk = Radix.lock_range t.tree core ~lo ~hi in
-    let removed = Radix.clear_range t.tree core lk in
-    let handles = cleanup_removed t core ~lo ~hi removed in
-    Radix.fill_range t.tree core lk (fresh_meta core ~prot ~backing);
-    Radix.unlock_range t.tree core lk;
-    drop_handles t core handles
+    match
+      abort_point core ~op:"mmap" ~point:"locked";
+      let removed = Radix.clear_range t.tree core lk in
+      let handles = cleanup_removed t core ~lo ~hi removed in
+      (try
+         abort_point core ~op:"mmap" ~point:"cleared";
+         Radix.fill_range t.tree core lk (fresh_meta core ~prot ~backing);
+         abort_point core ~op:"mmap" ~point:"filled"
+       with e when not (rollback_broken core) ->
+         (* Drop any partial fill, put the displaced mappings back. The
+            shoot-down that already happened only over-invalidated TLBs,
+            which is always safe. *)
+         let _ : (int * int * meta) list = Radix.clear_range t.tree core lk in
+         reinstate t core lk removed;
+         raise e);
+      handles
+    with
+    | handles ->
+        Radix.unlock_range t.tree core lk;
+        drop_handles t core handles
+    | exception e ->
+        if not (rollback_broken core) then Radix.unlock_range t.tree core lk;
+        raise e
 
   let munmap t (core : Core.t) ~vpn ~npages =
     if npages <= 0 then invalid_arg "Radixvm.munmap: npages";
@@ -173,12 +224,29 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     Core.tick core core.Core.params.Params.op_cost;
     let lo = vpn and hi = vpn + npages in
     let lk = Radix.lock_range t.tree core ~lo ~hi in
-    let removed = Radix.clear_range t.tree core lk in
-    let handles = cleanup_removed t core ~lo ~hi removed in
-    Radix.unlock_range t.tree core lk;
-    drop_handles t core handles
+    match
+      abort_point core ~op:"munmap" ~point:"locked";
+      let removed = Radix.clear_range t.tree core lk in
+      let handles = cleanup_removed t core ~lo ~hi removed in
+      (try abort_point core ~op:"munmap" ~point:"cleared"
+       with e when not (rollback_broken core) ->
+         reinstate t core lk removed;
+         raise e);
+      handles
+    with
+    | handles ->
+        Radix.unlock_range t.tree core lk;
+        drop_handles t core handles
+    | exception e ->
+        if not (rollback_broken core) then Radix.unlock_range t.tree core lk;
+        raise e
 
-  let destroy t core = munmap t core ~vpn:0 ~npages:(Radix.max_vpn t.tree)
+  let destroy t core =
+    (* Process teardown must not fail: like a real kernel's exit path it
+       runs with injection suppressed (the frame budget is irrelevant —
+       teardown only releases frames). *)
+    Fault.with_suppressed core.Core.fault (fun () ->
+        munmap t core ~vpn:0 ~npages:(Radix.max_vpn t.tree))
 
   (* mprotect: rewrite the metadata under the range lock. Removing write
      permission must invalidate cached (possibly writable) translations;
@@ -189,22 +257,31 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     Core.tick core core.Core.params.Params.op_cost;
     let lo = vpn and hi = vpn + npages in
     let lk = Radix.lock_range t.tree core ~lo ~hi in
-    let targets = Bitset.create (Machine.ncores t.machine) in
-    let any_frames = ref false in
-    Radix.update_range t.tree core lk ~f:(fun m ->
-        if m.frame <> None then begin
-          any_frames := true;
-          Bitset.union_into ~dst:targets m.tlb_cores
-        end;
-        { m with prot });
-    if prot = Vm_types.Read_only then begin
-      (match Mmu.kind t.mmu with
-      | Page_table.Shared ->
-          if !any_frames then Bitset.union_into ~dst:targets t.ever_active
-      | Page_table.Per_core | Page_table.Grouped _ -> ());
-      shootdown t core ~lo ~hi targets
-    end;
-    Radix.unlock_range t.tree core lk
+    match
+      (* The only abort point is before the first mutation: a permission
+         rewrite cannot be partially rolled back page by page, so the
+         injection model aborts it atomically or not at all. *)
+      abort_point core ~op:"mprotect" ~point:"locked";
+      let targets = Bitset.create (Machine.ncores t.machine) in
+      let any_frames = ref false in
+      Radix.update_range t.tree core lk ~f:(fun m ->
+          if m.frame <> None then begin
+            any_frames := true;
+            Bitset.union_into ~dst:targets m.tlb_cores
+          end;
+          { m with prot });
+      if prot = Vm_types.Read_only then begin
+        (match Mmu.kind t.mmu with
+        | Page_table.Shared ->
+            if !any_frames then Bitset.union_into ~dst:targets t.ever_active
+        | Page_table.Per_core | Page_table.Grouped _ -> ());
+        shootdown t core ~lo ~hi targets
+      end
+    with
+    | () -> Radix.unlock_range t.tree core lk
+    | exception e ->
+        if not (rollback_broken core) then Radix.unlock_range t.tree core lk;
+        raise e
 
   let mmap_shared_frame t (core : Core.t) ~vpn ~npages ~pfn handle =
     if npages <= 0 then invalid_arg "Radixvm.mmap_shared_frame: npages";
@@ -214,16 +291,26 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     Core.tick core core.Core.params.Params.op_cost;
     let lo = vpn and hi = vpn + npages in
     let lk = Radix.lock_range t.tree core ~lo ~hi in
-    let removed = Radix.clear_range t.tree core lk in
-    let handles = cleanup_removed t core ~lo ~hi removed in
-    for p = lo to hi - 1 do
-      C.inc t.csub core handle;
-      let m = fresh_meta core ~prot:Vm_types.Read_write ~backing:Vm_types.Anon in
-      m.frame <- Some (pfn, handle);
-      Radix.set_page t.tree core lk p m
-    done;
-    Radix.unlock_range t.tree core lk;
-    drop_handles t core handles
+    match
+      abort_point core ~op:"mmap" ~point:"locked";
+      let removed = Radix.clear_range t.tree core lk in
+      let handles = cleanup_removed t core ~lo ~hi removed in
+      for p = lo to hi - 1 do
+        C.inc t.csub core handle;
+        let m =
+          fresh_meta core ~prot:Vm_types.Read_write ~backing:Vm_types.Anon
+        in
+        m.frame <- Some (pfn, handle);
+        Radix.set_page t.tree core lk p m
+      done;
+      handles
+    with
+    | handles ->
+        Radix.unlock_range t.tree core lk;
+        drop_handles t core handles
+    | exception e ->
+        if not (rollback_broken core) then Radix.unlock_range t.tree core lk;
+        raise e
 
   (* Attach a frame to a faulting page, privatizing its metadata record:
      anonymous pages get a zeroed frame, file pages come from the shared
@@ -275,33 +362,43 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     let stats = core.Core.stats in
     stats.Stats.pagefaults <- stats.Stats.pagefaults + 1;
     let lk = Radix.lock_range t.tree core ~lo:vpn ~hi:(vpn + 1) in
-    match Radix.get_page t.tree core lk vpn with
-    | None ->
+    match
+      (* Pre-mutation abort point; [Physmem.alloc] inside [attach_frame]
+         and [break_cow] can additionally raise [Out_of_frames], in both
+         cases before the page's metadata record is touched — so an OOM
+         fault leaves the page exactly as it was. *)
+      abort_point core ~op:"pagefault" ~point:"locked";
+      match Radix.get_page t.tree core lk vpn with
+      | None -> None
+      | Some m when write && m.prot = Vm_types.Read_only -> None
+      | Some m ->
+          let m =
+            match m.frame with
+            | Some _ ->
+                stats.Stats.fill_faults <- stats.Stats.fill_faults + 1;
+                m
+            | None -> attach_frame t core lk vpn m
+          in
+          if write && m.cow then break_cow t core m;
+          let pfn =
+            match m.frame with Some (p, _) -> p | None -> assert false
+          in
+          (match Mmu.kind t.mmu with
+          | Page_table.Per_core | Page_table.Grouped _ ->
+              (* Record this core in the page's shootdown set — a local
+                 store; the metadata shares the locked slot's line. *)
+              Core.tick core core.Core.params.Params.l1_hit;
+              Bitset.add m.tlb_cores core.Core.id
+          | Page_table.Shared -> ());
+          Mmu.install t.mmu core ~vpn ~pfn ~writable:(writable m);
+          Some pfn
+    with
+    | r ->
         Radix.unlock_range t.tree core lk;
-        None
-    | Some m when write && m.prot = Vm_types.Read_only ->
-        Radix.unlock_range t.tree core lk;
-        None
-    | Some m ->
-        let m =
-          match m.frame with
-          | Some _ ->
-              stats.Stats.fill_faults <- stats.Stats.fill_faults + 1;
-              m
-          | None -> attach_frame t core lk vpn m
-        in
-        if write && m.cow then break_cow t core m;
-        let pfn = match m.frame with Some (p, _) -> p | None -> assert false in
-        (match Mmu.kind t.mmu with
-        | Page_table.Per_core | Page_table.Grouped _ ->
-            (* Record this core in the page's shootdown set — a local
-               store; the metadata shares the locked slot's line. *)
-            Core.tick core core.Core.params.Params.l1_hit;
-            Bitset.add m.tlb_cores core.Core.id
-        | Page_table.Shared -> ());
-        Mmu.install t.mmu core ~vpn ~pfn ~writable:(writable m);
-        Radix.unlock_range t.tree core lk;
-        Some pfn
+        r
+    | exception e ->
+        if not (rollback_broken core) then Radix.unlock_range t.tree core lk;
+        raise e
 
   (* Resolve one user access to the frame it may use. *)
   let resolve t (core : Core.t) ~vpn ~write =
@@ -345,6 +442,7 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     let lo = 0 and hi = Radix.max_vpn t.tree in
     let lk = Radix.lock_range t.tree core ~lo ~hi in
     let child_lk = Radix.lock_range child.tree core ~lo ~hi in
+    match
     let targets = Bitset.create (Machine.ncores t.machine) in
     (* Demote the parent's writable anonymous pages to COW. *)
     Radix.update_range t.tree core lk ~f:(fun m ->
@@ -377,10 +475,18 @@ module Make (C : Refcnt.Counter_intf.S) = struct
         if not (Bitset.is_empty targets) then
           Bitset.union_into ~dst:targets t.ever_active
     | Page_table.Per_core | Page_table.Grouped _ -> ());
-    shootdown t core ~lo ~hi targets;
-    Radix.unlock_range child.tree core child_lk;
-    Radix.unlock_range t.tree core lk;
-    child
+    shootdown t core ~lo ~hi targets
+    with
+    | () ->
+        Radix.unlock_range child.tree core child_lk;
+        Radix.unlock_range t.tree core lk;
+        child
+    | exception e ->
+        if not (rollback_broken core) then begin
+          Radix.unlock_range child.tree core child_lk;
+          Radix.unlock_range t.tree core lk
+        end;
+        raise e
 
   (* Memory pressure: RadixVM's page tables are caches of the radix tree
      and can simply be dropped (section 3.2: "the hardware page tables
@@ -390,20 +496,56 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     Core.tick core core.Core.params.Params.op_cost;
     let lo = 0 and hi = Radix.max_vpn t.tree in
     let lk = Radix.lock_range t.tree core ~lo ~hi in
-    let ncores = Machine.ncores t.machine in
-    let remote = ref [] in
-    for c = 0 to ncores - 1 do
-      Mmu.discard_for_core t.mmu ~owner:c;
-      if c <> core.Core.id then remote := c :: !remote
-    done;
-    Ipi.multicast t.machine core ~targets:!remote;
-    (* No core caches anything now: reset the per-page tracking. *)
-    Radix.update_range t.tree core lk ~f:(fun m ->
-        Bitset.clear m.tlb_cores;
-        m);
-    Radix.unlock_range t.tree core lk
+    match
+      let ncores = Machine.ncores t.machine in
+      let remote = ref [] in
+      for c = 0 to ncores - 1 do
+        Mmu.discard_for_core t.mmu ~owner:c;
+        if c <> core.Core.id then remote := c :: !remote
+      done;
+      Ipi.multicast t.machine core ~targets:!remote;
+      (* No core caches anything now: reset the per-page tracking. *)
+      Radix.update_range t.tree core lk ~f:(fun m ->
+          Bitset.clear m.tlb_cores;
+          m)
+    with
+    | () -> Radix.unlock_range t.tree core lk
+    | exception e ->
+        if not (rollback_broken core) then Radix.unlock_range t.tree core lk;
+        raise e
 
   let mapped t ~vpn = Radix.peek t.tree vpn <> None
+
+  (* ---------------------------------------------------------------- *)
+  (* Typed-failure entry points: the same operations with the two
+     expected failures — frame exhaustion and injected aborts — caught
+     and returned as values. The operations' exception safety guarantees
+     an [Error] means "nothing happened". Anything else (a genuine bug)
+     still propagates. *)
+
+  let trap f =
+    match f () with
+    | v -> Stdlib.Ok v
+    | exception Physmem.Out_of_frames -> Stdlib.Error Vm_types.Enomem
+    | exception Fault.Injected_abort { op; point } ->
+        Stdlib.Error (Vm_types.Aborted { op; point })
+
+  let mmap_result t core ~vpn ~npages ?prot ?backing () =
+    trap (fun () -> mmap t core ~vpn ~npages ?prot ?backing ())
+
+  let munmap_result t core ~vpn ~npages =
+    trap (fun () -> munmap t core ~vpn ~npages)
+
+  let mprotect_result t core ~vpn ~npages prot =
+    trap (fun () -> mprotect t core ~vpn ~npages prot)
+
+  let touch_result t core ~vpn = trap (fun () -> touch t core ~vpn)
+  let read_result t core ~vpn = trap (fun () -> read t core ~vpn)
+
+  let store_result t core ~vpn value =
+    trap (fun () -> store t core ~vpn value)
+
+  let load_result t core ~vpn = trap (fun () -> load t core ~vpn)
 
   (* Table 2 accounting: tree nodes plus the per-page copies of mapping
      metadata (pages that have faulted carry a private ~32-byte record;
@@ -419,8 +561,16 @@ module Make (C : Refcnt.Counter_intf.S) = struct
 
   let pt_bytes t = Page_table.bytes (Mmu.page_table t.mmu)
 
+  let inv_fail fmt =
+    Format.kasprintf
+      (fun detail ->
+        raise (Vm_types.Invariant_violation { subsystem = "radixvm"; detail }))
+      fmt
+
   let check_invariants t =
-    Radix.check_invariants t.tree;
+    (try Radix.check_invariants t.tree
+     with Failure detail ->
+       raise (Vm_types.Invariant_violation { subsystem = "radix"; detail }));
     (* After quiescence, any cached translation must be covered by the
        page's TLB core set, and no writable translation may survive for a
        read-only or COW page (per-core MMU only — shared page tables don't
@@ -441,12 +591,12 @@ module Make (C : Refcnt.Counter_intf.S) = struct
                      | None -> false
                    in
                    if cached && not (Bitset.mem m.tlb_cores c) then
-                     Format.kasprintf failwith
-                       "core %d caches vpn %d outside its TLB set" c vpn;
+                     inv_fail "core %d caches vpn %d outside its TLB set" c
+                       vpn;
                    match pt with
                    | Some pte when pte.Page_table.writable && not (writable m)
                      ->
-                       Format.kasprintf failwith
+                       inv_fail
                          "core %d holds a writable PTE for protected vpn %d" c
                          vpn
                    | Some _ | None -> ()

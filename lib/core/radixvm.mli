@@ -61,7 +61,8 @@ module Make (C : Refcnt.Counter_intf.S) : sig
       shot down so its next writes fault and copy). *)
 
   val destroy : t -> Ccsim.Core.t -> unit
-  (** Unmap everything (process exit): every frame reference is dropped. *)
+  (** Unmap everything (process exit): every frame reference is dropped.
+      Runs with fault injection suppressed — teardown never fails. *)
 
   val discard_page_tables : t -> Ccsim.Core.t -> unit
   (** Memory pressure: drop every per-core page table and TLB entry. The
@@ -87,6 +88,46 @@ module Make (C : Refcnt.Counter_intf.S) : sig
       forked page): takes one reference per page on the frame's counter.
       This is the Figure 8 workload's operation. *)
 
+  (** {2 Typed-failure entry points}
+
+      The same operations with the two {e expected} failure modes — frame
+      exhaustion ({!Ccsim.Physmem.Out_of_frames} becomes
+      [Error Vm_types.Enomem]) and injected aborts
+      ({!Ccsim.Fault.Injected_abort} becomes [Error (Vm_types.Aborted _)])
+      — caught and returned as values. Every operation is exception-safe:
+      an [Error] means the operation was a no-op (range locks released,
+      partial mutations rolled back, reference counts rebalanced), so the
+      caller may retry, degrade, or report. Any other exception is a bug
+      and still propagates. *)
+
+  val mmap_result :
+    t -> Ccsim.Core.t -> vpn:int -> npages:int -> ?prot:Vm_types.prot ->
+    ?backing:Vm_types.backing -> unit -> (unit, Vm_types.vm_error) Stdlib.result
+
+  val munmap_result :
+    t -> Ccsim.Core.t -> vpn:int -> npages:int ->
+    (unit, Vm_types.vm_error) Stdlib.result
+
+  val mprotect_result :
+    t -> Ccsim.Core.t -> vpn:int -> npages:int -> Vm_types.prot ->
+    (unit, Vm_types.vm_error) Stdlib.result
+
+  val touch_result :
+    t -> Ccsim.Core.t -> vpn:int ->
+    (Vm_types.access_result, Vm_types.vm_error) Stdlib.result
+
+  val read_result :
+    t -> Ccsim.Core.t -> vpn:int ->
+    (Vm_types.access_result, Vm_types.vm_error) Stdlib.result
+
+  val store_result :
+    t -> Ccsim.Core.t -> vpn:int -> int ->
+    (Vm_types.access_result, Vm_types.vm_error) Stdlib.result
+
+  val load_result :
+    t -> Ccsim.Core.t -> vpn:int ->
+    (int option, Vm_types.vm_error) Stdlib.result
+
   val counters : t -> C.t
   (** The frame-counting subsystem (to create shared frames). *)
 
@@ -98,7 +139,9 @@ module Make (C : Refcnt.Counter_intf.S) : sig
 
   val check_invariants : t -> unit
   (** Tree invariants plus: every mapped-with-frame page's TLB set covers
-      every core whose TLB or page table holds its translation. *)
+      every core whose TLB or page table holds its translation.
+      @raise Vm_types.Invariant_violation on failure, with the subsystem
+      ("radix" or "radixvm") and a description. *)
 end
 
 (** The paper's configuration: Refcache for physical pages too. *)

@@ -10,6 +10,29 @@ type backing =
 type access_result =
   | Ok  (** translation present or fault handled *)
   | Segfault  (** access to an unmapped page *)
+  | Oom  (** the fault handler could not allocate a frame *)
+
+(** Typed failure of a VM operation under fault injection or memory
+    pressure. Operations that fail this way are no-ops: locks released,
+    partial mutations rolled back, reference counts rebalanced. *)
+type vm_error =
+  | Enomem  (** physical frame budget exhausted *)
+  | Aborted of { op : string; point : string }
+      (** the operation hit a fault-injection abort point *)
+
+exception Invariant_violation of { subsystem : string; detail : string }
+(** A VM invariant check failed. Structured (rather than [Failure]) so
+    harnesses — the fuzzer in particular — can catch it, print the
+    offending seed, and continue. *)
+
+let pp_access_result ppf = function
+  | Ok -> Format.pp_print_string ppf "ok"
+  | Segfault -> Format.pp_print_string ppf "segfault"
+  | Oom -> Format.pp_print_string ppf "oom"
+
+let pp_vm_error ppf = function
+  | Enomem -> Format.pp_print_string ppf "ENOMEM"
+  | Aborted { op; point } -> Format.fprintf ppf "aborted(%s@%s)" op point
 
 let pp_prot ppf = function
   | Read_only -> Format.pp_print_string ppf "r--"

@@ -1,0 +1,391 @@
+open Ccsim
+module R = Vm.Radixvm.Default
+module T = Vm.Vm_types
+
+type config = {
+  seed : int;
+  ops : int;
+  ncores : int;
+  check : bool;
+  verbose : bool;
+  broken : bool;
+}
+
+let default =
+  { seed = 0; ops = 600; ncores = 4; check = true; verbose = false;
+    broken = false }
+
+type outcome = { transcript : string; passed : bool; failures : string list }
+
+(* The oracle: per process, a map vpn -> (protection, expected word). A
+   page that was mmapped but never stored reads as 0 (demand-zero), and a
+   failed operation must leave the map — and the real tree — untouched. *)
+type opage = { mutable o_prot : T.prot; mutable o_value : int }
+type proc = { id : int; vm : R.t; pages : (int, opage) Hashtbl.t }
+
+let region = 1024 (* fuzzed vpn range per address space *)
+let max_procs = 6
+let epoch = 50_000
+
+let copy_pages src =
+  let dst = Hashtbl.create (2 * Hashtbl.length src) in
+  Hashtbl.iter
+    (fun k v -> Hashtbl.replace dst k { o_prot = v.o_prot; o_value = v.o_value })
+    src;
+  dst
+
+let pp_result = function
+  | Stdlib.Ok () -> "ok"
+  | Stdlib.Error e -> Format.asprintf "%a" T.pp_vm_error e
+
+let run_session cfg =
+  let cfg = { cfg with ncores = max 2 cfg.ncores; ops = max 1 cfg.ops } in
+  let buf = Buffer.create 4096 in
+  let out fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let trace fmt =
+    Printf.ksprintf (fun s -> if cfg.verbose then out "%s" s) fmt
+  in
+  let failures = ref [] in
+  let failed fmt =
+    Printf.ksprintf
+      (fun s ->
+        let s = Printf.sprintf "seed=%d: %s" cfg.seed s in
+        failures := s :: !failures;
+        out "FAIL %s" s)
+      fmt
+  in
+  let rng = Random.State.make [| 0x5eed; cfg.seed |] in
+  let machine =
+    Machine.create (Params.default ~ncores:cfg.ncores ~epoch_cycles:epoch ())
+  in
+  let checker = if cfg.check then Some (Check.attach machine) else None in
+  (* The fault plan is drawn from the session rng, except that core 1 is
+     always configured to acknowledge IPIs late enough (past
+     ipi_ack_timeout) to force at least one sender-side retry — together
+     with the frame budget and the abort rules this guarantees every
+     session exercises frame exhaustion, IPI delay, and mid-op aborts. *)
+  let plan = Fault.create ~seed:cfg.seed () in
+  let budget = 10 + Random.State.int rng 16 in
+  Fault.set_frame_budget plan (Some budget);
+  let delayed = ref [ 1 ] and stalled = ref [] in
+  Fault.delay_ipi plan ~core:1 ~cycles:(300_000 + Random.State.int rng 150_000);
+  for c = 2 to cfg.ncores - 1 do
+    match Random.State.int rng 10 with
+    | 0 ->
+        Fault.stall_ipi plan ~core:c;
+        stalled := c :: !stalled
+    | 1 | 2 ->
+        Fault.delay_ipi plan ~core:c
+          ~cycles:(5_000 + Random.State.int rng 400_000);
+        delayed := c :: !delayed
+    | _ -> ()
+  done;
+  let abort_probs =
+    List.map
+      (fun op ->
+        let prob = 0.02 +. Random.State.float rng 0.10 in
+        Fault.abort_ops plan ~op ~prob ();
+        (op, prob))
+      [ "mmap"; "munmap"; "mprotect"; "pagefault" ]
+  in
+  if cfg.broken then Fault.set_break_rollback plan true;
+  Machine.set_fault machine (Some plan);
+  out "fuzz: seed=%d ops=%d cores=%d budget=%d%s" cfg.seed cfg.ops cfg.ncores
+    budget
+    (if cfg.broken then " BROKEN-ROLLBACK" else "");
+  out "plan: delayed=[%s] stalled=[%s] aborts=[%s]"
+    (String.concat "," (List.rev_map string_of_int !delayed))
+    (String.concat "," (List.rev_map string_of_int !stalled))
+    (String.concat " "
+       (List.map (fun (op, p) -> Printf.sprintf "%s:%.3f" op p) abort_probs));
+  (* --- processes --- *)
+  let next_id = ref 0 in
+  let new_proc vm pages =
+    let id = !next_id in
+    incr next_id;
+    { id; vm; pages }
+  in
+  let procs = ref [ new_proc (R.create machine) (Hashtbl.create 64) ] in
+  let n_ok = ref 0
+  and n_segv = ref 0
+  and n_enomem = ref 0
+  and n_aborted = ref 0
+  and n_oomr = ref 0 in
+  let count_err = function
+    | T.Enomem -> incr n_enomem
+    | T.Aborted _ -> incr n_aborted
+  in
+  let rand_core () = Machine.core machine (Random.State.int rng cfg.ncores) in
+  let rand_proc () =
+    List.nth !procs (Random.State.int rng (List.length !procs))
+  in
+  let rand_range () =
+    let lo = Random.State.int rng region in
+    let len = 1 + Random.State.int rng 12 in
+    (lo, min len (region - lo))
+  in
+  let oracle_mapped p vpn = Hashtbl.mem p.pages vpn in
+  (* Page accesses aim at mapped pages most of the time: mmap ranges are a
+     dozen pages in a 1024-page space, so uniform vpns almost always
+     segfault and the frame budget is never even approached. (Hashtbl
+     iteration order is deterministic for a given operation history, so
+     this keeps transcripts reproducible.) *)
+  let rand_vpn p =
+    let n = Hashtbl.length p.pages in
+    if n > 0 && Random.State.int rng 100 < 60 then begin
+      let k = Random.State.int rng n in
+      let i = ref 0 and pick = ref 0 in
+      Hashtbl.iter
+        (fun v _ ->
+          if !i = k then pick := v;
+          incr i)
+        p.pages;
+      !pick
+    end
+    else Random.State.int rng region
+  in
+  (* A failed operation is required to be a no-op: spot-check that the
+     tree still agrees with the oracle at the range's endpoints. *)
+  let check_noop label p lo hi =
+    List.iter
+      (fun v ->
+        let m = R.mapped p.vm ~vpn:v and o = oracle_mapped p v in
+        if m <> o then
+          failed "failed %s was not a no-op: p%d vpn %d is %s, oracle says %s"
+            label p.id v
+            (if m then "mapped" else "unmapped")
+            (if o then "mapped" else "unmapped"))
+      [ lo; hi ]
+  in
+  (* --- operations --- *)
+  let do_mmap core p =
+    let lo, len = rand_range () in
+    let prot =
+      if Random.State.int rng 100 < 15 then T.Read_only else T.Read_write
+    in
+    let r = R.mmap_result p.vm core ~vpn:lo ~npages:len ~prot () in
+    trace "  c%d p%d mmap [%d,%d) %s -> %s" core.Core.id p.id lo (lo + len)
+      (if prot = T.Read_only then "r-" else "rw")
+      (pp_result r);
+    match r with
+    | Ok () ->
+        incr n_ok;
+        for v = lo to lo + len - 1 do
+          Hashtbl.replace p.pages v { o_prot = prot; o_value = 0 }
+        done;
+        if not (R.mapped p.vm ~vpn:lo && R.mapped p.vm ~vpn:(lo + len - 1))
+        then failed "mmap ok but p%d [%d,%d) is not mapped" p.id lo (lo + len)
+    | Error e ->
+        count_err e;
+        check_noop "mmap" p lo (lo + len - 1)
+  in
+  let do_munmap core p =
+    let lo, len = rand_range () in
+    let r = R.munmap_result p.vm core ~vpn:lo ~npages:len in
+    trace "  c%d p%d munmap [%d,%d) -> %s" core.Core.id p.id lo (lo + len)
+      (pp_result r);
+    match r with
+    | Ok () ->
+        incr n_ok;
+        for v = lo to lo + len - 1 do
+          Hashtbl.remove p.pages v
+        done;
+        if R.mapped p.vm ~vpn:lo || R.mapped p.vm ~vpn:(lo + len - 1) then
+          failed "munmap ok but p%d [%d,%d) still mapped" p.id lo (lo + len)
+    | Error e ->
+        count_err e;
+        check_noop "munmap" p lo (lo + len - 1)
+  in
+  let do_mprotect core p =
+    let lo, len = rand_range () in
+    let prot =
+      if Random.State.int rng 2 = 0 then T.Read_only else T.Read_write
+    in
+    let r = R.mprotect_result p.vm core ~vpn:lo ~npages:len prot in
+    trace "  c%d p%d mprotect [%d,%d) %s -> %s" core.Core.id p.id lo (lo + len)
+      (if prot = T.Read_only then "r-" else "rw")
+      (pp_result r);
+    match r with
+    | Ok () ->
+        incr n_ok;
+        for v = lo to lo + len - 1 do
+          match Hashtbl.find_opt p.pages v with
+          | Some pg -> pg.o_prot <- prot
+          | None -> ()
+        done
+    | Error e -> count_err e
+  in
+  let do_store core p =
+    let vpn = rand_vpn p in
+    let value = 1 + Random.State.int rng 1_000_000 in
+    let r = R.store_result p.vm core ~vpn value in
+    trace "  c%d p%d store %d<-%d -> %s" core.Core.id p.id vpn value
+      (match r with
+      | Ok a -> Format.asprintf "%a" T.pp_access_result a
+      | Error e -> Format.asprintf "%a" T.pp_vm_error e);
+    match r with
+    | Ok T.Ok -> (
+        incr n_ok;
+        match Hashtbl.find_opt p.pages vpn with
+        | Some pg when pg.o_prot = T.Read_write -> pg.o_value <- value
+        | Some _ -> failed "store to read-only p%d vpn %d succeeded" p.id vpn
+        | None -> failed "store to unmapped p%d vpn %d succeeded" p.id vpn)
+    | Ok T.Segfault -> (
+        incr n_segv;
+        match Hashtbl.find_opt p.pages vpn with
+        | Some { o_prot = T.Read_write; _ } ->
+            failed "store to mapped rw p%d vpn %d segfaulted" p.id vpn
+        | Some _ | None -> ())
+    | Ok T.Oom -> incr n_oomr
+    | Error e -> count_err e
+  in
+  let do_load core p =
+    let vpn = rand_vpn p in
+    let r = R.load_result p.vm core ~vpn in
+    trace "  c%d p%d load %d -> %s" core.Core.id p.id vpn
+      (match r with
+      | Ok (Some v) -> string_of_int v
+      | Ok None -> "fault"
+      | Error e -> Format.asprintf "%a" T.pp_vm_error e);
+    match r with
+    | Ok (Some v) -> (
+        incr n_ok;
+        match Hashtbl.find_opt p.pages vpn with
+        | Some pg when pg.o_value = v -> ()
+        | Some pg ->
+            failed "load p%d vpn %d returned %d, oracle expects %d" p.id vpn v
+              pg.o_value
+        | None -> failed "load of unmapped p%d vpn %d returned %d" p.id vpn v)
+    | Ok None ->
+        incr n_segv;
+        if oracle_mapped p vpn then
+          failed "load of mapped p%d vpn %d faulted" p.id vpn
+    | Error e -> count_err e
+  in
+  let do_touch core p =
+    let vpn = rand_vpn p in
+    let r = R.touch_result p.vm core ~vpn in
+    trace "  c%d p%d touch %d -> %s" core.Core.id p.id vpn
+      (match r with
+      | Ok a -> Format.asprintf "%a" T.pp_access_result a
+      | Error e -> Format.asprintf "%a" T.pp_vm_error e);
+    match r with
+    | Ok T.Ok -> (
+        incr n_ok;
+        match Hashtbl.find_opt p.pages vpn with
+        | Some { o_prot = T.Read_write; _ } -> ()
+        | Some _ -> failed "touch of read-only p%d vpn %d succeeded" p.id vpn
+        | None -> failed "touch of unmapped p%d vpn %d succeeded" p.id vpn)
+    | Ok T.Segfault -> (
+        incr n_segv;
+        match Hashtbl.find_opt p.pages vpn with
+        | Some { o_prot = T.Read_write; _ } ->
+            failed "touch of mapped rw p%d vpn %d segfaulted" p.id vpn
+        | Some _ | None -> ())
+    | Ok T.Oom -> incr n_oomr
+    | Error e -> count_err e
+  in
+  let do_fork core p =
+    if List.length !procs < max_procs then begin
+      let child = new_proc (R.fork p.vm core) (copy_pages p.pages) in
+      procs := !procs @ [ child ];
+      incr n_ok;
+      trace "  c%d p%d fork -> p%d" core.Core.id p.id child.id
+    end
+  in
+  let do_exit core =
+    match !procs with
+    | _ :: rest when rest <> [] ->
+        let idx = 1 + Random.State.int rng (List.length rest) in
+        let victim = List.nth !procs idx in
+        procs := List.filteri (fun i _ -> i <> idx) !procs;
+        R.destroy victim.vm core;
+        incr n_ok;
+        trace "  c%d exit p%d" core.Core.id victim.id
+    | _ -> ()
+  in
+  (* --- the stream --- *)
+  for i = 1 to cfg.ops do
+    let core = rand_core () in
+    let p = rand_proc () in
+    (match Random.State.int rng 100 with
+    | r when r < 18 -> do_mmap core p
+    | r when r < 32 -> do_munmap core p
+    | r when r < 40 -> do_mprotect core p
+    | r when r < 62 -> do_store core p
+    | r when r < 76 -> do_load core p
+    | r when r < 84 -> do_touch core p
+    | r when r < 88 ->
+        R.discard_page_tables p.vm core;
+        incr n_ok;
+        trace "  c%d p%d discard page tables" core.Core.id p.id
+    | r when r < 94 -> do_fork core p
+    | _ -> do_exit core);
+    if i mod 97 = 0 then Machine.drain machine ~cycles:epoch;
+    if i mod 128 = 0 then
+      List.iter
+        (fun q ->
+          try R.check_invariants q.vm
+          with T.Invariant_violation { subsystem; detail } ->
+            failed "invariant violation in %s (p%d): %s" subsystem q.id detail)
+        !procs
+  done;
+  (* --- teardown: everything must come back --- *)
+  List.iter
+    (fun q ->
+      try R.check_invariants q.vm
+      with T.Invariant_violation { subsystem; detail } ->
+        failed "final invariant violation in %s (p%d): %s" subsystem q.id
+          detail)
+    !procs;
+  let core0 = Machine.core machine 0 in
+  List.iter (fun q -> R.destroy q.vm core0) !procs;
+  procs := [];
+  Machine.drain machine ~cycles:(8 * epoch);
+  Machine.drain machine ~cycles:(8 * epoch);
+  let live = Physmem.live_frames (Machine.physmem machine) in
+  if live <> 0 then failed "%d frames leaked after teardown" live;
+  (match checker with
+  | None -> ()
+  | Some ck ->
+      out "checker: %d line accesses observed" (Check.accesses ck);
+      let show pp v = Format.asprintf "%a" pp v in
+      (match Check.tlb_violations ck with
+      | [] -> ()
+      | v :: _ as l ->
+          failed "%d stale-TLB violations, first: %s" (List.length l)
+            (show Check.pp_tlb_violation v));
+      (match Check.rc_violations ck with
+      | [] -> ()
+      | v :: _ as l ->
+          failed "%d refcount violations, first: %s" (List.length l)
+            (show Check.pp_rc_violation v));
+      (match Check.leaked_locks ck with
+      | [] -> ()
+      | v :: _ as l ->
+          failed "%d leaked locks, first: %s" (List.length l)
+            (show Check.pp_leaked_lock v));
+      (match Check.cycles ck with
+      | [] -> ()
+      | c :: _ as l ->
+          failed "%d lock-order cycles, first: %s" (List.length l)
+            (show Check.pp_cycle c)));
+  out "summary: ok=%d segv=%d enomem=%d aborted=%d oom=%d" !n_ok !n_segv
+    !n_enomem !n_aborted !n_oomr;
+  out "injected: oom=%d aborts=%d lock_timeouts=%d ipi_delays=%d \
+       ipi_abandoned=%d shootdown_retries=%d"
+    (Fault.injected_oom plan)
+    (Fault.injected_aborts plan)
+    (Fault.injected_lock_timeouts plan)
+    (Fault.ipi_delays plan) (Fault.ipi_abandoned plan)
+    (Machine.stats machine).Stats.shootdown_retries;
+  out "frames: live=%d (budget %d)" live budget;
+  let failures = List.rev !failures in
+  out "verdict: %s" (if failures = [] then "PASS" else "FAIL");
+  { transcript = Buffer.contents buf; passed = failures = []; failures }

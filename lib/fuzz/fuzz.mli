@@ -1,0 +1,48 @@
+(** Seeded random-operation fuzzer for the VM stack.
+
+    One {e session} drives a stream of VM operations (mmap / munmap /
+    mprotect / store / load / touch / fork / exit / page-table discard)
+    across the cores of one simulated machine, under a randomly drawn
+    fault schedule (finite frame budget, delayed or stalled IPI acks,
+    mid-operation aborts), and cross-checks every result against a
+    trivial oracle model — a per-process hash table of what should be
+    mapped, with what protection and contents. Failed operations
+    ([Error Enomem] / [Error (Aborted _)]) must be no-ops; that is
+    exactly the graceful-degradation contract the fuzzer verifies.
+
+    Everything — the operation stream, the fault plan, the simulator —
+    derives from [config.seed], so a session is replayed exactly by
+    re-running the same configuration, and {!run_session} returns a
+    byte-deterministic transcript (the property `dune build @fuzz-smoke`
+    and the determinism test pin down). *)
+
+type config = {
+  seed : int;
+  ops : int;  (** operations per session *)
+  ncores : int;  (** simulated cores (clamped to at least 2) *)
+  check : bool;  (** attach the {!Check} dynamic analyses *)
+  verbose : bool;  (** one transcript line per operation *)
+  broken : bool;
+      (** known-bad mode: skip rollback on injected aborts
+          ({!Ccsim.Fault.set_break_rollback}) — the session must FAIL;
+          used to prove the oracle and checkers catch a missing
+          rollback *)
+}
+
+val default : config
+(** seed 0, 600 ops, 4 cores, checker attached, quiet, not broken. *)
+
+type outcome = {
+  transcript : string;
+      (** deterministic: same [config] ⇒ same bytes. Includes the fault
+          plan, any failures, and a summary with injection counters. *)
+  passed : bool;
+  failures : string list;  (** oldest first; empty iff [passed] *)
+}
+
+val run_session : config -> outcome
+(** Run one session to completion (including teardown: every process
+    destroyed, epochs drained, zero live frames demanded). Never raises —
+    oracle mismatches, invariant violations, and checker findings are
+    reported in the outcome, each tagged with the seed that replays
+    them. *)

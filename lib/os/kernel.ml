@@ -1,7 +1,7 @@
 open Ccsim
 module R = Vm.Radixvm.Default
 
-type errno = EINVAL | ENOENT | ESRCH | ECHILD
+type errno = EINVAL | ENOENT | ESRCH | ECHILD | ENOMEM | EFAULT
 
 type 'a result = ('a, errno) Stdlib.result
 
@@ -10,6 +10,20 @@ let errno_to_string = function
   | ENOENT -> "ENOENT"
   | ESRCH -> "ESRCH"
   | ECHILD -> "ECHILD"
+  | ENOMEM -> "ENOMEM"
+  | EFAULT -> "EFAULT"
+
+(* Map VM-layer failures to errnos: frame exhaustion is ENOMEM; an
+   operation abandoned at a fault-injection point was rolled back by the
+   VM layer and reports EFAULT. Every syscall validates its arguments
+   before calling into the VM, so EINVAL always means "nothing happened"
+   — and thanks to the VM operations' exception safety, so do ENOMEM and
+   EFAULT. *)
+let trap_vm f =
+  match f () with
+  | v -> Ok v
+  | exception Ccsim.Physmem.Out_of_frames -> Error ENOMEM
+  | exception Ccsim.Fault.Injected_abort _ -> Error EFAULT
 
 type state = Running | Zombie of int
 
@@ -78,8 +92,10 @@ let sys_fork t core p =
   syscall_entry core;
   match check_running p with
   | Error _ as e -> e
-  | Ok () ->
-      let child_vm = R.fork p.vm core in
+  | Ok () -> (
+    match trap_vm (fun () -> R.fork p.vm core) with
+    | Error _ as e -> e
+    | Ok child_vm ->
       let child =
         {
           pid = t.next_pid;
@@ -94,7 +110,7 @@ let sys_fork t core p =
       t.next_pid <- t.next_pid + 1;
       Hashtbl.replace t.procs child.pid child;
       p.children <- child.pid :: p.children;
-      Ok child
+      Ok child)
 
 let sys_exec t core p ~path =
   syscall_entry core;
@@ -108,16 +124,21 @@ let sys_exec t core p ~path =
             match Vfs.size_pages t.vfs fd with Some n -> n | None -> 0
           in
           (* Tear down the old image; keep the kernel-shared state (page
-             cache, counters) by building the replacement from it. *)
-          let fresh = R.create_with ~share_state:p.vm t.machine in
-          R.destroy p.vm core;
-          p.vm <- fresh;
-          R.mmap p.vm core ~vpn:text_base ~npages:text_pages
-            ~prot:Vm.Vm_types.Read_only ~backing:(Vm.Vm_types.File fd) ();
-          R.mmap p.vm core ~vpn:stack_base ~npages:stack_pages ();
-          p.brk <- heap_base;
-          p.text_pages <- text_pages;
-          Ok ())
+             cache, counters) by building the replacement from it. Once
+             teardown starts there is no image to return to, so — like
+             exit — the rebuild runs with fault injection suppressed
+             rather than leave a half-built process. (No frames are
+             allocated here; mmap is lazy.) *)
+          Fault.with_suppressed core.Core.fault (fun () ->
+              let fresh = R.create_with ~share_state:p.vm t.machine in
+              R.destroy p.vm core;
+              p.vm <- fresh;
+              R.mmap p.vm core ~vpn:text_base ~npages:text_pages
+                ~prot:Vm.Vm_types.Read_only ~backing:(Vm.Vm_types.File fd) ();
+              R.mmap p.vm core ~vpn:stack_base ~npages:stack_pages ();
+              p.brk <- heap_base;
+              p.text_pages <- text_pages;
+              Ok ()))
 
 let sys_exit t core p ~code =
   syscall_entry core;
@@ -165,10 +186,16 @@ let sys_sbrk _t core p ~pages =
       let next = old + pages in
       if next < heap_base || next > stack_base then Error EINVAL
       else begin
-        if pages > 0 then R.mmap p.vm core ~vpn:old ~npages:pages ()
-        else if pages < 0 then R.munmap p.vm core ~vpn:next ~npages:(-pages);
-        p.brk <- next;
-        Ok old
+        match
+          trap_vm (fun () ->
+              if pages > 0 then R.mmap p.vm core ~vpn:old ~npages:pages ()
+              else if pages < 0 then
+                R.munmap p.vm core ~vpn:next ~npages:(-pages))
+        with
+        | Ok () ->
+            p.brk <- next;
+            Ok old
+        | Error _ as e -> e
       end
 
 let check_range p ~vpn ~npages =
@@ -176,43 +203,98 @@ let check_range p ~vpn ~npages =
     Error EINVAL
   else Ok ()
 
-let sys_mmap t core p ~vpn ~npages ?(prot = Vm.Vm_types.Read_write) ?file () =
+(* Eagerly fault every page of a fresh MAP_POPULATE mapping. Errors roll
+   up as errnos; the caller unmaps on failure. *)
+let eager_populate core p ~vpn ~npages ~prot =
+  let rec go q =
+    if q >= vpn + npages then Ok ()
+    else
+      let r () =
+        if prot = Vm.Vm_types.Read_only then R.read p.vm core ~vpn:q
+        else R.touch p.vm core ~vpn:q
+      in
+      match trap_vm r with
+      | Ok Vm.Vm_types.Ok -> go (q + 1)
+      | Ok Vm.Vm_types.Oom | Error ENOMEM -> Error ENOMEM
+      | Ok Vm.Vm_types.Segfault ->
+          (* only possible if another core unmapped concurrently *)
+          Error EFAULT
+      | Error _ -> Error EFAULT
+  in
+  go vpn
+
+let sys_mmap t core p ~vpn ~npages ?(prot = Vm.Vm_types.Read_write)
+    ?(populate = false) ?file () =
   syscall_entry core;
   match (check_running p, check_range p ~vpn ~npages) with
   | (Error _ as e), _ | _, (Error _ as e) -> e
   | Ok (), Ok () -> (
-      match file with
-      | None ->
-          R.mmap p.vm core ~vpn ~npages ~prot ();
-          Ok ()
-      | Some fd -> (
-          match Vfs.size_pages t.vfs fd with
-          | None -> Error EINVAL
-          | Some size when npages > size -> Error EINVAL
-          | Some _ ->
-              R.mmap p.vm core ~vpn ~npages ~prot
-                ~backing:(Vm.Vm_types.File fd) ();
-              Ok ()))
+      let backing =
+        match file with
+        | None -> Ok Vm.Vm_types.Anon
+        | Some fd -> (
+            match Vfs.size_pages t.vfs fd with
+            | None -> Error EINVAL
+            | Some size when npages > size -> Error EINVAL
+            | Some _ -> Ok (Vm.Vm_types.File fd))
+      in
+      match backing with
+      | Error _ as e -> e
+      | Ok backing -> (
+          match
+            trap_vm (fun () -> R.mmap p.vm core ~vpn ~npages ~prot ~backing ())
+          with
+          | Error _ as e -> e
+          | Ok () ->
+              if not populate then Ok ()
+              else (
+                match eager_populate core p ~vpn ~npages ~prot with
+                | Ok () -> Ok ()
+                | Error _ as e ->
+                    (* Roll the mapping back so the failed syscall is a
+                       no-op; the rollback itself must not fail. *)
+                    Fault.with_suppressed core.Core.fault (fun () ->
+                        R.munmap p.vm core ~vpn ~npages);
+                    e)))
 
 let sys_munmap _t core p ~vpn ~npages =
   syscall_entry core;
   match (check_running p, check_range p ~vpn ~npages) with
   | (Error _ as e), _ | _, (Error _ as e) -> e
-  | Ok (), Ok () ->
-      R.munmap p.vm core ~vpn ~npages;
-      Ok ()
+  | Ok (), Ok () -> trap_vm (fun () -> R.munmap p.vm core ~vpn ~npages)
 
 let sys_mprotect _t core p ~vpn ~npages prot =
   syscall_entry core;
   match (check_running p, check_range p ~vpn ~npages) with
   | (Error _ as e), _ | _, (Error _ as e) -> e
-  | Ok (), Ok () ->
-      R.mprotect p.vm core ~vpn ~npages prot;
-      Ok ()
+  | Ok (), Ok () -> trap_vm (fun () -> R.mprotect p.vm core ~vpn ~npages prot)
+
+(* User accesses degrade rather than raise: frame exhaustion surfaces as
+   [Oom] (load: [None]), and an access that keeps hitting an injected
+   abort point retries a bounded number of times — each attempt was rolled
+   back, so retrying is sound — before giving up as a resource failure. *)
+let access_retries = 64
 
 let store _t core p ~vpn value =
   if p.state <> Running then Vm.Vm_types.Segfault
-  else R.store p.vm core ~vpn value
+  else
+    let rec go tries =
+      match R.store p.vm core ~vpn value with
+      | r -> r
+      | exception Physmem.Out_of_frames -> Vm.Vm_types.Oom
+      | exception Fault.Injected_abort _ ->
+          if tries < access_retries then go (tries + 1) else Vm.Vm_types.Oom
+    in
+    go 0
 
 let load _t core p ~vpn =
-  if p.state <> Running then None else R.load p.vm core ~vpn
+  if p.state <> Running then None
+  else
+    let rec go tries =
+      match R.load p.vm core ~vpn with
+      | r -> r
+      | exception Physmem.Out_of_frames -> None
+      | exception Fault.Injected_abort _ ->
+          if tries < access_retries then go (tries + 1) else None
+    in
+    go 0

@@ -15,11 +15,17 @@ type t
 
 type process
 
-type errno = EINVAL | ENOENT | ESRCH | ECHILD
+type errno = EINVAL | ENOENT | ESRCH | ECHILD | ENOMEM | EFAULT
+(** [ENOMEM]: the machine's physical frame budget (fault injection /
+    memory pressure) is exhausted. [EFAULT]: the VM operation was
+    abandoned at a fault-injection point. Both are returned only after the
+    VM layer rolled the operation back, so — like [EINVAL] — they mean the
+    syscall was a no-op. *)
 
 type 'a result = ('a, errno) Stdlib.result
 
 val errno_to_string : errno -> string
+(** Total over every [errno]. *)
 
 (** {2 Boot and inspection} *)
 
@@ -75,9 +81,15 @@ val sys_sbrk : t -> Ccsim.Core.t -> process -> pages:int -> int result
 
 val sys_mmap :
   t -> Ccsim.Core.t -> process -> vpn:int -> npages:int ->
-  ?prot:Vm.Vm_types.prot -> ?file:Vfs.fd -> unit -> unit result
+  ?prot:Vm.Vm_types.prot -> ?populate:bool -> ?file:Vfs.fd -> unit ->
+  unit result
 (** Validated mmap: the range must be inside the address space and a file
-    mapping must be within the file's size ([EINVAL] otherwise). *)
+    mapping must be within the file's size ([EINVAL] otherwise).
+
+    [populate] (default false; MAP_POPULATE) eagerly faults every page of
+    the fresh mapping, so frame exhaustion surfaces immediately as
+    [ENOMEM] — with the mapping rolled back — instead of lazily at first
+    touch. *)
 
 val sys_munmap :
   t -> Ccsim.Core.t -> process -> vpn:int -> npages:int -> unit result
@@ -90,5 +102,8 @@ val sys_mprotect :
 
 val store : t -> Ccsim.Core.t -> process -> vpn:int -> int ->
   Vm.Vm_types.access_result
+(** [Oom] under frame exhaustion (and, degenerately, when an injected
+    abort keeps firing past the bounded retry budget); never raises. *)
 
 val load : t -> Ccsim.Core.t -> process -> vpn:int -> int option
+(** [None] for a fatal fault {e or} frame exhaustion; never raises. *)

@@ -213,9 +213,13 @@ let lock_range t core ~lo ~hi =
   lk
 
 let unlock_range t core lk =
+  (* Spans are prepended as they are locked, so walking the list releases
+     in reverse acquisition order; releasing each span back-to-front makes
+     the whole sequence LIFO (and keeps the checker's held-lock stack pops
+     at the top instead of scanning). *)
   List.iter
     (fun (node, i0, i1) ->
-      for i = i0 to i1 do
+      for i = i1 downto i0 do
         Lock.release core node.locks.(i)
       done)
     lk.spans;

@@ -67,6 +67,7 @@ module Make (V : Vm.Vm_intf.S) = struct
       match V.touch vm core ~vpn with
       | Vm.Vm_types.Ok -> ()
       | Vm.Vm_types.Segfault -> failwith "metis: unexpected segfault"
+      | Vm.Vm_types.Oom -> failwith "metis: out of frames"
     in
     let map_batch = 200 in
     for w = 0 to ncores - 1 do

@@ -73,7 +73,8 @@ module Make (V : Vm.Vm_intf.S) = struct
           for p = vpn to vpn + region_pages - 1 do
             (match V.touch vm core ~vpn:p with
             | Vm.Vm_types.Ok -> ()
-            | Vm.Vm_types.Segfault -> failwith "local: unexpected segfault");
+            | Vm.Vm_types.Segfault -> failwith "local: unexpected segfault"
+            | Vm.Vm_types.Oom -> failwith "local: out of frames");
             incr writes
           done;
           V.munmap vm core ~vpn ~npages:region_pages;
@@ -112,7 +113,8 @@ module Make (V : Vm.Vm_intf.S) = struct
         for p = vpn to vpn + region_pages - 1 do
           (match V.touch vm core ~vpn:p with
           | Vm.Vm_types.Ok -> ()
-          | Vm.Vm_types.Segfault -> failwith "pipeline: unexpected segfault");
+          | Vm.Vm_types.Segfault -> failwith "pipeline: unexpected segfault"
+          | Vm.Vm_types.Oom -> failwith "pipeline: out of frames");
           incr writes
         done
       in
@@ -200,7 +202,8 @@ module Make (V : Vm.Vm_intf.S) = struct
                 (match V.touch vm core ~vpn:pages.(i) with
                 | Vm.Vm_types.Ok -> ()
                 | Vm.Vm_types.Segfault ->
-                    failwith "global: unexpected segfault");
+                    failwith "global: unexpected segfault"
+                | Vm.Vm_types.Oom -> failwith "global: out of frames");
                 incr writes
               done;
               if stop = total_pages then begin

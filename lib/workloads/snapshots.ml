@@ -86,7 +86,8 @@ let measure p =
       iter_resident ~start ~npages ~resident (fun vpn ->
           match Baselines.Linux_vm.touch linux c ~vpn with
           | Vm.Vm_types.Ok -> ()
-          | Vm.Vm_types.Segfault -> failwith "snapshot: segfault (linux)"))
+          | Vm.Vm_types.Segfault -> failwith "snapshot: segfault (linux)"
+          | Vm.Vm_types.Oom -> failwith "snapshot: out of frames (linux)"))
     vmas;
   (* RadixVM representation *)
   let m_radix = Machine.create (Params.default ~ncores:1 ()) in
@@ -98,7 +99,8 @@ let measure p =
       iter_resident ~start ~npages ~resident (fun vpn ->
           match R.touch radix c ~vpn with
           | Vm.Vm_types.Ok -> ()
-          | Vm.Vm_types.Segfault -> failwith "snapshot: segfault (radix)"))
+          | Vm.Vm_types.Segfault -> failwith "snapshot: segfault (radix)"
+          | Vm.Vm_types.Oom -> failwith "snapshot: out of frames (radix)"))
     vmas;
   let linux_vma_bytes = Baselines.Linux_vm.index_bytes linux in
   let linux_pt_bytes = Baselines.Linux_vm.pt_bytes linux in

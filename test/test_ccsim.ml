@@ -406,6 +406,29 @@ let test_run_for_horizon () =
   Machine.run_for m ~cycles:100_000;
   Alcotest.(check bool) "ran about 200 iters" true (!iters >= 190 && !iters <= 210)
 
+let test_run_for_horizon_edges () =
+  let m = machine ~ncores:2 () in
+  let iters = ref 0 in
+  for i = 0 to 1 do
+    let core = Machine.core m i in
+    Machine.set_workload m i (fun () ->
+        incr iters;
+        Core.tick core 1_000;
+        true)
+  done;
+  (* A zero horizon retires every core before its first step. *)
+  Machine.run_for m ~cycles:0;
+  Alcotest.(check int) "zero horizon runs nothing" 0 !iters;
+  (* Cores step while strictly before the horizon, so a 1-cycle horizon
+     admits exactly one step per core. *)
+  Machine.run_for m ~cycles:1;
+  Alcotest.(check int) "one step per core" 2 !iters;
+  (* Workloads stay installed: a later call with a larger horizon resumes
+     from where the cores stopped, not from zero. *)
+  Machine.run_for m ~cycles:100_000;
+  Alcotest.(check int) "resumed to the larger horizon" 200 !iters;
+  Alcotest.(check bool) "clocks at the horizon" true (Machine.elapsed m >= 100_000)
+
 let test_maintenance_fires_per_core () =
   let m = machine ~ncores:3 () in
   let fired = Array.make 3 0 in
@@ -433,6 +456,26 @@ let test_drain_advances_maintenance () =
   Machine.drain m ~cycles:50_000;
   (* 2 cores x 10 periods *)
   Alcotest.(check bool) "about 20 firings" true (!fired >= 18 && !fired <= 22)
+
+let test_drain_horizon_edges () =
+  let m = machine ~ncores:2 () in
+  let fired = ref 0 in
+  Machine.add_maintenance m ~period:5_000 (fun _ -> incr fired);
+  (* A zero-cycle drain fires nothing: the first hook is strictly in the
+     future. *)
+  Machine.drain m ~cycles:0;
+  Alcotest.(check int) "zero drain fires nothing" 0 !fired;
+  (* The target boundary is inclusive: draining exactly to the period
+     fires core 0's hook (first firings are staggered per core, so core
+     1's lands a fraction of a period later), and time lands on the
+     target. *)
+  Machine.drain m ~cycles:5_000;
+  Alcotest.(check int) "boundary hook fired on core 0" 1 !fired;
+  Alcotest.(check int) "time advanced to the target" 5_000 (Machine.elapsed m);
+  (* Draining past the stagger picks up core 1's first firing too. *)
+  Machine.drain m ~cycles:2_000;
+  Alcotest.(check int) "staggered hook fired on core 1" 2 !fired;
+  Alcotest.(check int) "time at the second target" 7_000 (Machine.elapsed m)
 
 (* ------------------------------------------------------------------ *)
 (* IPIs                                                                *)
@@ -594,8 +637,10 @@ let () =
         [
           tc "time order" `Quick test_scheduler_runs_in_time_order;
           tc "run_for horizon" `Quick test_run_for_horizon;
+          tc "run_for edges" `Quick test_run_for_horizon_edges;
           tc "maintenance" `Quick test_maintenance_fires_per_core;
           tc "drain" `Quick test_drain_advances_maintenance;
+          tc "drain edges" `Quick test_drain_horizon_edges;
         ] );
       ( "ipi",
         [

@@ -1,0 +1,356 @@
+(* Tests for the fault-injection layer: each injected fault kind at its
+   source (frame budget, forced lock timeouts, perturbed IPI
+   acknowledgment, mid-operation aborts), graceful degradation through the
+   VM stack and the kernel's errno surface, the known-bad rollback escape
+   hatch (the leak checkers must catch it), and the fuzzer's determinism
+   and oracle. *)
+
+open Ccsim
+module T = Vm.Vm_types
+module R = Vm.Radixvm.Default
+module K = Os.Kernel
+
+let epoch = 10_000
+
+let machine ?(ncores = 4) () =
+  Machine.create (Params.default ~ncores ~epoch_cycles:epoch ())
+
+let plan_on ?(seed = 0) m =
+  let p = Fault.create ~seed () in
+  Machine.set_fault m (Some p);
+  p
+
+let live m = Physmem.live_frames (Machine.physmem m)
+
+let access_t = Alcotest.testable T.pp_access_result ( = )
+let vm_error_t = Alcotest.testable T.pp_vm_error ( = )
+let result_vm = Alcotest.(result access_t vm_error_t)
+
+let pp_result_vm ppf = function
+  | Ok a -> T.pp_access_result ppf a
+  | Error e -> T.pp_vm_error ppf e
+
+(* ------------------------------------------------------------------ *)
+(* Physmem: frame budget and double-free                               *)
+
+let test_frame_budget () =
+  let m = machine () in
+  let plan = plan_on m in
+  let pm = Machine.physmem m and c0 = Machine.core m 0 in
+  Fault.set_frame_budget plan (Some 2);
+  let f0 = Physmem.alloc pm c0 in
+  let f1 = Physmem.alloc pm c0 in
+  (match Physmem.alloc pm c0 with
+  | _ -> Alcotest.fail "third alloc under a budget of 2 succeeded"
+  | exception Physmem.Out_of_frames -> ());
+  Alcotest.(check (option int)) "try_alloc refuses" None (Physmem.try_alloc pm c0);
+  Alcotest.(check int) "refusals counted" 2 (Fault.injected_oom plan);
+  (* The budget caps live frames, not total allocations: freeing makes
+     room. *)
+  Physmem.free pm c0 f0;
+  let f2 = Physmem.alloc pm c0 in
+  Alcotest.(check int) "still two live" 2 (live m);
+  (* Lifting the budget restores unbounded memory. *)
+  Fault.set_frame_budget plan None;
+  let f3 = Physmem.alloc pm c0 in
+  List.iter (Physmem.free pm c0) [ f1; f2; f3 ];
+  Alcotest.(check int) "all returned" 0 (live m)
+
+let test_double_free_detected () =
+  let m = machine () in
+  let pm = Machine.physmem m and c0 = Machine.core m 0 in
+  let f = Physmem.alloc pm c0 in
+  Physmem.free pm c0 f;
+  (match Physmem.free pm c0 f with
+  | () -> Alcotest.fail "double free not detected"
+  | exception Physmem.Double_free g ->
+      Alcotest.(check int) "names the frame" f g);
+  match Physmem.free pm c0 424242 with
+  | () -> Alcotest.fail "free of never-allocated frame not detected"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Forced lock timeouts                                                *)
+
+let test_forced_lock_timeout () =
+  let m = machine () in
+  let plan = plan_on m in
+  let c0 = Machine.core m 0 in
+  Fault.timeout_locks plan ~label:"victim" ~prob:1.0;
+  let l = Lock.create ~label:"victim" c0 in
+  let other = Lock.create ~label:"bystander" c0 in
+  (* The lock is free, but every timed attempt is forced to fail. *)
+  Alcotest.(check bool)
+    "timed attempt forced out" false
+    (Lock.try_acquire ~timeout:1_000 c0 l);
+  Alcotest.(check bool) "counted" true (Fault.injected_lock_timeouts plan >= 1);
+  Alcotest.(check bool)
+    "other labels unaffected" true
+    (Lock.try_acquire ~timeout:1_000 c0 other);
+  Lock.release c0 other;
+  (* Teardown paths run suppressed and must not be refused. *)
+  Fault.with_suppressed (Some plan) (fun () ->
+      Alcotest.(check bool)
+        "suppressed attempt succeeds" true
+        (Lock.try_acquire ~timeout:1_000 c0 l);
+      Lock.release c0 l)
+
+(* ------------------------------------------------------------------ *)
+(* IPI delay / stall under shootdowns                                  *)
+
+(* Map a page, touch it on two cores (so both TLBs hold the translation),
+   then unmap on core 0 — the shootdown must interrupt core 1. *)
+let shootdown_under plan_cfg =
+  let m = machine ~ncores:2 () in
+  let chk = Check.attach m in
+  let plan = plan_on m in
+  plan_cfg plan;
+  let vm = R.create m in
+  let c0 = Machine.core m 0 and c1 = Machine.core m 1 in
+  (match R.mmap_result vm c0 ~vpn:5 ~npages:1 () with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "mmap failed");
+  Alcotest.(check result_vm) "touch c0" (Ok T.Ok) (R.touch_result vm c0 ~vpn:5);
+  Alcotest.(check result_vm) "touch c1" (Ok T.Ok) (R.touch_result vm c1 ~vpn:5);
+  (match R.munmap_result vm c0 ~vpn:5 ~npages:1 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "munmap failed");
+  Alcotest.(check bool) "unmapped" false (R.mapped vm ~vpn:5);
+  R.destroy vm c0;
+  Machine.drain m ~cycles:(4 * epoch);
+  (* Perturbed acknowledgment is a timing fault only: the invalidations
+     happened synchronously before the IPI, so the TLB mirror must stay
+     coherent no matter how late (or never) the ack arrives. *)
+  Alcotest.(check int) "no stale TLB entries" 0
+    (List.length (Check.tlb_violations chk));
+  Alcotest.(check int) "no leaked frames" 0 (live m);
+  (m, plan)
+
+let test_ipi_delay_forces_retry () =
+  let m, plan =
+    shootdown_under (fun plan ->
+        (* Past ipi_ack_timeout (250k), within the retry budget. *)
+        Fault.delay_ipi plan ~core:1 ~cycles:600_000)
+  in
+  Alcotest.(check bool) "delays recorded" true (Fault.ipi_delays plan > 0);
+  Alcotest.(check bool)
+    "sender retried" true
+    ((Machine.stats m).Stats.shootdown_retries > 0);
+  Alcotest.(check int) "nobody abandoned" 0 (Fault.ipi_abandoned plan)
+
+let test_ipi_stall_abandoned () =
+  let _, plan = shootdown_under (fun plan -> Fault.stall_ipi plan ~core:1) in
+  Alcotest.(check bool)
+    "stalled target abandoned after the retry budget" true
+    (Fault.ipi_abandoned plan > 0)
+
+let test_ipi_prompt_keeps_legacy_timing () =
+  let m, plan = shootdown_under (fun _ -> ()) in
+  Alcotest.(check int) "no retries" 0 (Machine.stats m).Stats.shootdown_retries;
+  Alcotest.(check int) "no delays" 0 (Fault.ipi_delays plan)
+
+(* ------------------------------------------------------------------ *)
+(* Mid-operation aborts: rollback makes the operation a no-op          *)
+
+let test_abort_rolls_back () =
+  let m = machine () in
+  let chk = Check.attach m in
+  let plan = plan_on m in
+  let vm = R.create m in
+  let c0 = Machine.core m 0 in
+  (match R.mmap_result vm c0 ~vpn:10 ~npages:4 () with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "setup mmap failed");
+  Alcotest.(check result_vm) "store" (Ok T.Ok) (R.store_result vm c0 ~vpn:11 7);
+  let frames_before = live m in
+  Fault.abort_ops plan ~op:"munmap" ~point:"cleared" ~prob:1.0 ();
+  (match R.munmap_result vm c0 ~vpn:10 ~npages:4 with
+  | Error (T.Aborted { op = "munmap"; point = "cleared" }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" T.pp_vm_error e
+  | Ok () -> Alcotest.fail "abort at probability 1.0 did not fire");
+  (* The failed munmap must be a perfect no-op. *)
+  Alcotest.(check bool) "still mapped" true (R.mapped vm ~vpn:10);
+  Alcotest.(check (result (option int) vm_error_t))
+    "value survived"
+    (Ok (Some 7))
+    (R.load_result vm c0 ~vpn:11);
+  Alcotest.(check int) "no frames leaked or dropped" frames_before (live m);
+  R.check_invariants vm;
+  Alcotest.(check int) "range locks released" 0
+    (List.length (Check.leaked_locks chk));
+  (* With the plan detached the same operation goes through. *)
+  Machine.set_fault m None;
+  (match R.munmap_result vm c0 ~vpn:10 ~npages:4 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "munmap after detach failed");
+  Alcotest.(check bool) "now unmapped" false (R.mapped vm ~vpn:10)
+
+let test_frame_exhaustion_degrades () =
+  let m = machine () in
+  let plan = plan_on m in
+  let vm = R.create m in
+  let c0 = Machine.core m 0 in
+  (match R.mmap_result vm c0 ~vpn:0 ~npages:8 () with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "setup mmap failed");
+  (* Demand-zero pages allocate on first touch: freeze the budget at the
+     current live count and every populate path must degrade, typed. *)
+  Fault.set_frame_budget plan (Some (live m));
+  (match R.touch_result vm c0 ~vpn:3 with
+  | Error T.Enomem -> ()
+  | r -> Alcotest.failf "touch: expected Enomem, got %a" pp_result_vm r);
+  (match R.store_result vm c0 ~vpn:4 9 with
+  | Error T.Enomem -> ()
+  | r -> Alcotest.failf "store: expected Enomem, got %a" pp_result_vm r);
+  R.check_invariants vm;
+  (* Pressure relieved: the same accesses succeed. *)
+  Fault.set_frame_budget plan None;
+  Alcotest.(check result_vm) "touch after relief" (Ok T.Ok)
+    (R.touch_result vm c0 ~vpn:3);
+  Alcotest.(check result_vm) "store after relief" (Ok T.Ok)
+    (R.store_result vm c0 ~vpn:4 9)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel errno surface                                                *)
+
+let test_kernel_enomem () =
+  let m = machine () in
+  let k = K.boot m in
+  let p = K.init_process k in
+  let c0 = Machine.core m 0 in
+  let plan = plan_on m in
+  Fault.set_frame_budget plan (Some (live m));
+  (match
+     K.sys_mmap k c0 p ~vpn:K.heap_base ~npages:4 ~populate:true ()
+   with
+  | Error K.ENOMEM -> ()
+  | Ok () -> Alcotest.fail "populate under exhausted budget succeeded"
+  | Error e -> Alcotest.failf "expected ENOMEM, got %s" (K.errno_to_string e));
+  Fault.set_frame_budget plan None;
+  match K.sys_mmap k c0 p ~vpn:K.heap_base ~npages:4 ~populate:true () with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "mmap after relief failed: %s" (K.errno_to_string e)
+
+let test_kernel_efault_and_einval () =
+  let m = machine () in
+  let k = K.boot m in
+  let p = K.init_process k in
+  let c0 = Machine.core m 0 in
+  (* Validation comes before mutation — and before fault injection. *)
+  (match K.sys_mmap k c0 p ~vpn:(-3) ~npages:2 () with
+  | Error K.EINVAL -> ()
+  | _ -> Alcotest.fail "negative vpn accepted");
+  let plan = plan_on m in
+  Fault.abort_ops plan ~op:"mmap" ~prob:1.0 ();
+  (match K.sys_mmap k c0 p ~vpn:K.heap_base ~npages:2 () with
+  | Error K.EFAULT -> ()
+  | Ok () -> Alcotest.fail "aborted mmap reported success"
+  | Error e -> Alcotest.failf "expected EFAULT, got %s" (K.errno_to_string e));
+  Alcotest.(check bool)
+    "rolled back: range not mapped" false
+    (R.mapped (K.vm p) ~vpn:K.heap_base)
+
+let test_errno_to_string_total () =
+  List.iter
+    (fun e -> Alcotest.(check bool) "nonempty" true (K.errno_to_string e <> ""))
+    [ K.EINVAL; K.ENOENT; K.ESRCH; K.ECHILD; K.ENOMEM; K.EFAULT ]
+
+(* ------------------------------------------------------------------ *)
+(* Known-bad mode: a skipped rollback must be caught                   *)
+
+let test_broken_rollback_is_caught () =
+  let m = machine () in
+  let chk = Check.attach m in
+  let plan = plan_on m in
+  let vm = R.create m in
+  let c0 = Machine.core m 0 in
+  Fault.set_break_rollback plan true;
+  Fault.abort_ops plan ~op:"mmap" ~point:"locked" ~prob:1.0 ();
+  (match R.mmap_result vm c0 ~vpn:20 ~npages:3 () with
+  | Error (T.Aborted _) -> ()
+  | Ok () -> Alcotest.fail "abort did not fire"
+  | Error e -> Alcotest.failf "wrong error: %a" T.pp_vm_error e);
+  (* The range locks taken before the abort were never released — exactly
+     what the leaked-lock checker exists to catch. *)
+  Alcotest.(check bool)
+    "leaked locks detected" true
+    (Check.leaked_locks chk <> [])
+
+let test_invariant_violation_is_typed () =
+  let m = machine () in
+  let plan = plan_on m in
+  let vm = R.create m in
+  let c0 = Machine.core m 0 in
+  (match R.mmap_result vm c0 ~vpn:0 ~npages:2 () with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "setup mmap failed");
+  Fault.set_break_rollback plan true;
+  Fault.abort_ops plan ~op:"munmap" ~point:"cleared" ~prob:1.0 ();
+  (match R.munmap_result vm c0 ~vpn:0 ~npages:2 with
+  | Error (T.Aborted _) -> ()
+  | _ -> Alcotest.fail "abort did not fire");
+  (* Half-applied munmap with no rollback: the tree's counts are wrong,
+     and the verifier must say so as a typed, catchable error. *)
+  match R.check_invariants vm with
+  | () -> Alcotest.fail "corrupted tree passed check_invariants"
+  | exception T.Invariant_violation { subsystem; _ } ->
+      Alcotest.(check bool)
+        "names a VM subsystem" true
+        (List.mem subsystem [ "radix"; "radixvm" ])
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzer: determinism and the oracle                                  *)
+
+let test_fuzz_deterministic () =
+  let cfg = { Fuzz.default with seed = 11; ops = 150; ncores = 3 } in
+  let a = Fuzz.run_session cfg in
+  let b = Fuzz.run_session cfg in
+  Alcotest.(check bool) "passes" true a.Fuzz.passed;
+  Alcotest.(check string)
+    "byte-identical transcripts" a.Fuzz.transcript b.Fuzz.transcript
+
+let test_fuzz_catches_broken_rollback () =
+  let cfg = { Fuzz.default with seed = 11; ops = 150; ncores = 3; broken = true }
+  in
+  let o = Fuzz.run_session cfg in
+  Alcotest.(check bool) "known-bad variant fails" false o.Fuzz.passed;
+  Alcotest.(check bool) "with explicit failures" true (o.Fuzz.failures <> [])
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "fault"
+    [
+      ( "physmem",
+        [
+          tc "frame budget" `Quick test_frame_budget;
+          tc "double free" `Quick test_double_free_detected;
+        ] );
+      ("locks", [ tc "forced timeout" `Quick test_forced_lock_timeout ]);
+      ( "ipi",
+        [
+          tc "delay forces retry" `Quick test_ipi_delay_forces_retry;
+          tc "stall abandoned" `Quick test_ipi_stall_abandoned;
+          tc "prompt = legacy" `Quick test_ipi_prompt_keeps_legacy_timing;
+        ] );
+      ( "degradation",
+        [
+          tc "abort rolls back" `Quick test_abort_rolls_back;
+          tc "frame exhaustion" `Quick test_frame_exhaustion_degrades;
+          tc "kernel ENOMEM" `Quick test_kernel_enomem;
+          tc "kernel EFAULT/EINVAL" `Quick test_kernel_efault_and_einval;
+          tc "errno_to_string total" `Quick test_errno_to_string_total;
+        ] );
+      ( "known-bad",
+        [
+          tc "broken rollback leaks locks" `Quick test_broken_rollback_is_caught;
+          tc "invariant violation typed" `Quick test_invariant_violation_is_typed;
+        ] );
+      ( "fuzz",
+        [
+          tc "deterministic" `Quick test_fuzz_deterministic;
+          tc "broken variant caught" `Quick test_fuzz_catches_broken_rollback;
+        ] );
+    ]

@@ -61,6 +61,25 @@ let test_pool_propagates_failure () =
       | exception e -> raise e)
     [ 1; 4 ]
 
+(* A worker dying on a simulator exception (e.g. an injected fault that
+   escaped a buggy handler) must surface as Job_failed with the original
+   exception intact, not crash or hang the pool. *)
+let test_pool_propagates_injected_abort () =
+  let jobs =
+    List.init 4 (fun i ->
+        Pool.job ~name:(Printf.sprintf "fz%d" i) (fun () ->
+            if i = 2 then
+              raise (Ccsim.Fault.Injected_abort { op = "mmap"; point = "locked" });
+            i))
+  in
+  match Pool.run ~jobs:2 jobs with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception
+      Pool.Job_failed (name, Ccsim.Fault.Injected_abort { op; point }) ->
+      Alcotest.(check string) "failing job" "fz2" name;
+      Alcotest.(check string) "op" "mmap" op;
+      Alcotest.(check string) "point" "locked" point
+
 let test_pool_clamps_width () =
   (* More workers than jobs, zero workers, empty job list: all legal. *)
   Alcotest.(check (list int))
@@ -169,6 +188,7 @@ let () =
           tc "submission order" `Quick test_pool_preserves_order;
           tc "serial path" `Quick test_pool_serial_runs_in_caller;
           tc "failure propagation" `Quick test_pool_propagates_failure;
+          tc "injected abort" `Quick test_pool_propagates_injected_abort;
           tc "width clamping" `Quick test_pool_clamps_width;
         ] );
       ( "json",

@@ -25,7 +25,8 @@ let result_t =
   Alcotest.testable
     (fun ppf -> function
       | Vm.Vm_types.Ok -> Format.pp_print_string ppf "Ok"
-      | Vm.Vm_types.Segfault -> Format.pp_print_string ppf "Segfault")
+      | Vm.Vm_types.Segfault -> Format.pp_print_string ppf "Segfault"
+      | Vm.Vm_types.Oom -> Format.pp_print_string ppf "Oom")
     ( = )
 
 (* ------------------------------------------------------------------ *)

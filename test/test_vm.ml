@@ -41,7 +41,8 @@ let result_t =
   Alcotest.testable
     (fun ppf -> function
       | Vm_types.Ok -> Format.pp_print_string ppf "Ok"
-      | Vm_types.Segfault -> Format.pp_print_string ppf "Segfault")
+      | Vm_types.Segfault -> Format.pp_print_string ppf "Segfault"
+      | Vm_types.Oom -> Format.pp_print_string ppf "Oom")
     ( = )
 
 (* ------------------------------------------------------------------ *)
