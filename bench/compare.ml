@@ -1,0 +1,110 @@
+(* Self-performance regression gate: diff a fresh BENCH_selfperf.json
+   against the committed baseline, with tolerance bands.
+
+     compare.exe [--tolerance FRAC] baseline.json current.json
+
+   Every metric in the baseline must exist in the current artifact and be
+   no worse than baseline * (1 + band) (for lower-is-better metrics; the
+   reciprocal for higher-is-better ones). Host wall-clock is noisy — the
+   default band is deliberately wide (50%) so the gate catches order-of-
+   magnitude slips (an accidental O(n^2), a debug build) rather than
+   scheduler jitter. A metric object in the baseline may carry its own
+   "tolerance" field to widen or tighten its band.
+
+   Exits 1 listing each regressed metric; improvements only print. *)
+
+module Json = Harness.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let metrics path json =
+  match Json.member "metrics" json with
+  | Some (Json.List rows) ->
+      List.filter_map
+        (fun row ->
+          match Json.member "name" row with
+          | Some (Json.String name) -> Some (name, row)
+          | _ -> None)
+        rows
+  | _ -> fail "%s: no metrics array" path
+
+let number = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let () =
+  let tolerance = ref 0.5 in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: f :: rest -> (
+        match float_of_string_opt f with
+        | Some f when f >= 0.0 ->
+            tolerance := f;
+            parse rest
+        | _ -> fail "compare: bad --tolerance %s" f)
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let base_path, cur_path =
+    match List.rev !paths with
+    | [ b; c ] -> (b, c)
+    | _ -> fail "usage: compare.exe [--tolerance FRAC] baseline.json current.json"
+  in
+  let load path =
+    match Json.of_file path with
+    | Ok j -> j
+    | Error m -> fail "%s: %s" path m
+  in
+  let base = metrics base_path (load base_path) in
+  let cur = metrics cur_path (load cur_path) in
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, brow) ->
+      match number (Json.member "value" brow) with
+      | None -> ()  (* baseline had no estimate: nothing to hold against *)
+      | Some bv -> (
+          let band =
+            match number (Json.member "tolerance" brow) with
+            | Some t -> t
+            | None -> !tolerance
+          in
+          let higher_better =
+            match Json.member "better" brow with
+            | Some (Json.String "higher") -> true
+            | _ -> false
+          in
+          match List.assoc_opt name cur with
+          | None ->
+              incr regressions;
+              Printf.printf "FAIL %-28s missing from %s\n" name cur_path
+          | Some crow -> (
+              match number (Json.member "value" crow) with
+              | None ->
+                  incr regressions;
+                  Printf.printf "FAIL %-28s lost its estimate\n" name
+              | Some cv ->
+                  let worse =
+                    if higher_better then cv < bv /. (1.0 +. band)
+                    else cv > bv *. (1.0 +. band)
+                  in
+                  let ratio = if bv = 0.0 then 1.0 else cv /. bv in
+                  if worse then begin
+                    incr regressions;
+                    Printf.printf
+                      "FAIL %-28s %10.2f -> %10.2f  (%.2fx, band %.0f%%)\n"
+                      name bv cv ratio (band *. 100.0)
+                  end
+                  else
+                    Printf.printf "ok   %-28s %10.2f -> %10.2f  (%.2fx)\n" name
+                      bv cv ratio)))
+    base;
+  if !regressions > 0 then begin
+    Printf.printf "compare: %d metric(s) regressed beyond tolerance\n"
+      !regressions;
+    exit 1
+  end;
+  Printf.printf "compare: %d metrics within tolerance\n" (List.length base)

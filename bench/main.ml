@@ -98,8 +98,10 @@ let () =
   in
   let t0 = Unix.gettimeofday () in
   let all_checks = ref [] in
+  let target_walls = ref [] in
   List.iter
     (fun name ->
+      let t_target = Unix.gettimeofday () in
       match Figures.run_target ctx name with
       | None ->
           Printf.eprintf "unknown target %s; available: %s\n" name
@@ -107,6 +109,8 @@ let () =
           exit 1
       | Some out ->
           all_checks := !all_checks @ out.Figures.checks;
+          target_walls :=
+            (name, Unix.gettimeofday () -. t_target) :: !target_walls;
           Json.to_file ~pretty:true
             (Filename.concat !out_dir (artifact_name name))
             out.Figures.json)
@@ -123,6 +127,11 @@ let () =
          ("jobs", Json.Int jobs);
          ("host_domains", Json.Int (Harness.Pool.default_jobs ()));
          ("wall_clock_seconds", Json.Float wall);
+         ( "target_wall_clock_seconds",
+           Json.Obj
+             (List.rev_map
+                (fun (name, s) -> (name, Json.Float s))
+                !target_walls) );
          ("generated_at", Json.Float t0);
          ("commit", Json.String (git_commit ()));
          ( "instrumented_runs",

@@ -24,7 +24,28 @@ let require_meta path json =
   List.iter
     (fun key ->
       if Json.member key json = None then fail "%s: missing field %S" path key)
-    [ "schema_version"; "targets"; "jobs"; "wall_clock_seconds"; "commit" ]
+    [
+      "schema_version";
+      "targets";
+      "jobs";
+      "wall_clock_seconds";
+      "target_wall_clock_seconds";
+      "commit";
+    ];
+  (* Per-target times must cover exactly the targets that ran. *)
+  match
+    (Json.member "targets" json, Json.member "target_wall_clock_seconds" json)
+  with
+  | Some (Json.List targets), Some (Json.Obj walls) ->
+      List.iter
+        (fun t ->
+          match t with
+          | Json.String name ->
+              if not (List.mem_assoc name walls) then
+                fail "%s: no wall clock recorded for target %S" path name
+          | _ -> ())
+        targets
+  | _ -> fail "%s: malformed targets / target_wall_clock_seconds" path
 
 let () =
   let paths = List.tl (Array.to_list Sys.argv) in

@@ -28,7 +28,8 @@ let sharers t = Bitset.elements t.sharers
 let free_at t = t.free_at
 
 let holds_for_read t core_id =
-  t.owner = core_id || Bitset.mem t.sharers core_id
+  (* Core ids are always < ncores = the sharer set's capacity. *)
+  t.owner = core_id || Bitset.unsafe_mem t.sharers core_id
 
 (* Latency of fetching the line into [core]'s cache, given current holders
    (excluding [core] itself). *)
@@ -39,20 +40,17 @@ let miss_latency t (core : Core.t) =
     if socket_of t.owner = core.Core.socket then
       (p.Params.local_transfer, `Local)
     else (p.Params.remote_transfer, `Remote)
-  else
-    let same_socket = ref false and other = ref false in
-    Bitset.iter
-      (fun c ->
-        if c <> core.Core.id then begin
-          other := true;
-          if socket_of c = core.Core.socket then same_socket := true
-        end)
-      t.sharers;
-    if !other then
-      if !same_socket then (p.Params.local_transfer, `Local)
-      else (p.Params.remote_transfer, `Remote)
-    else if t.home_socket = core.Core.socket then (p.Params.dram_local, `Dram)
-    else (p.Params.dram_remote, `Dram)
+  else if Bitset.exists_other t.sharers core.Core.id then
+    (* Same classification the member walk produced: a sharer on my
+       socket ⇔ a member of my socket's core-id range other than me. *)
+    let cps = p.Params.cores_per_socket in
+    let lo = core.Core.socket * cps in
+    let hi = min (Bitset.capacity t.sharers) (lo + cps) in
+    if Bitset.mem_range_other t.sharers ~lo ~hi core.Core.id then
+      (p.Params.local_transfer, `Local)
+    else (p.Params.remote_transfer, `Remote)
+  else if t.home_socket = core.Core.socket then (p.Params.dram_local, `Dram)
+  else (p.Params.dram_remote, `Dram)
 
 let charge_miss t (core : Core.t) =
   let latency, kind = miss_latency t core in

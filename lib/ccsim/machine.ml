@@ -8,6 +8,11 @@ type t = {
   physmem : Physmem.t;
   workloads : (unit -> bool) option array;
   mutable maints : maint list;
+  maint_min : int array;
+      (* per core: earliest pending maintenance time over [maints], or
+         [max_int] when none are registered. The scheduler's inner loop
+         reads this instead of folding the hook list, and the common
+         "nothing due" case in [run_due_maint] is one integer compare. *)
   mutable ipi_free : int;
   mutable fault : Fault.t option;
 }
@@ -25,6 +30,7 @@ let create params =
     physmem = Physmem.create params stats;
     workloads = Array.make params.Params.ncores None;
     maints = [];
+    maint_min = Array.make params.Params.ncores max_int;
     ipi_free = 0;
     fault = None;
   }
@@ -44,6 +50,11 @@ let core t i = t.cores.(i)
 let cores t = t.cores
 let set_workload t i step = t.workloads.(i) <- Some step
 
+let refresh_maint_min t i =
+  let acc = ref max_int in
+  List.iter (fun m -> if m.next.(i) < !acc then acc := m.next.(i)) t.maints;
+  t.maint_min.(i) <- !acc
+
 let add_maintenance t ~period fn =
   if period <= 0 then invalid_arg "Machine.add_maintenance";
   (* Stagger the first firing per core: real kernels run per-core
@@ -54,68 +65,61 @@ let add_maintenance t ~period fn =
   let next =
     Array.init n (fun i -> period + (i * period / (4 * max 1 n)))
   in
-  t.maints <- { period; fn; next } :: t.maints
+  t.maints <- { period; fn; next } :: t.maints;
+  for i = 0 to n - 1 do
+    if next.(i) < t.maint_min.(i) then t.maint_min.(i) <- next.(i)
+  done
 
 let eff_clock (c : Core.t) = c.Core.clock + c.Core.pending_intr
 
 (* Fire every maintenance hook due on [core] given its current clock. *)
 let run_due_maint t (core : Core.t) =
-  List.iter
-    (fun m ->
-      while m.next.(core.Core.id) <= eff_clock core do
-        m.fn core;
-        m.next.(core.Core.id) <- m.next.(core.Core.id) + m.period
-      done)
-    t.maints
-
-(* Earliest pending maintenance time for core [i], if any hooks exist. *)
-let min_maint_time t i =
-  List.fold_left
-    (fun acc m ->
-      match acc with
-      | None -> Some m.next.(i)
-      | Some v -> Some (min v m.next.(i)))
-    None t.maints
-
-let max_active_clock t =
-  let acc = ref None in
-  Array.iteri
-    (fun i w ->
-      match w with
-      | Some _ ->
-          let c = eff_clock t.cores.(i) in
-          acc := Some (match !acc with None -> c | Some v -> max v c)
-      | None -> ())
-    t.workloads;
-  !acc
+  let i = core.Core.id in
+  if Array.unsafe_get t.maint_min i <= eff_clock core then begin
+    List.iter
+      (fun m ->
+        while m.next.(i) <= eff_clock core do
+          m.fn core;
+          m.next.(i) <- m.next.(i) + m.period
+        done)
+      t.maints;
+    refresh_maint_min t i
+  end
 
 (* One scheduling decision: the next thing to run is either the step of the
    earliest active core, or an overdue maintenance event on an idle core
    (idle cores may not run ahead of every active core). *)
 type pick = Step of int | Idle_maint of int * int | Nothing
 
+(* One ascending pass with the same strict-< update the original
+   two-pass scan used, so ties resolve to the identical (time, lowest
+   core id) choice. The historical [m <= max_active_clock] gate on idle
+   maintenance is implied: a candidate above every active clock can
+   never beat the earliest active core, so it only needs enforcing when
+   there is no active core at all — in which case the scheduler stops. *)
 let pick_next t =
-  match max_active_clock t with
-  | None -> Nothing
-  | Some horizon ->
-      let best = ref Nothing and best_time = ref max_int in
-      Array.iteri
-        (fun i w ->
-          match w with
-          | Some _ ->
-              let c = eff_clock t.cores.(i) in
-              if c < !best_time then begin
-                best := Step i;
-                best_time := c
-              end
-          | None -> (
-              match min_maint_time t i with
-              | Some m when m <= horizon && m < !best_time ->
-                  best := Idle_maint (i, m);
-                  best_time := m
-              | _ -> ()))
-        t.workloads;
-      !best
+  let n = Array.length t.cores in
+  let best_time = ref max_int in
+  let best = ref Nothing in
+  let any_active = ref false in
+  for i = 0 to n - 1 do
+    match Array.unsafe_get t.workloads i with
+    | Some _ ->
+        any_active := true;
+        let c = Array.unsafe_get t.cores i in
+        let e = c.Core.clock + c.Core.pending_intr in
+        if e < !best_time then begin
+          best_time := e;
+          best := Step i
+        end
+    | None ->
+        let m = Array.unsafe_get t.maint_min i in
+        if m < !best_time then begin
+          best_time := m;
+          best := Idle_maint (i, m)
+        end
+  done;
+  if not !any_active then Nothing else !best
 
 let run_pick t = function
   | Nothing -> false
@@ -174,7 +178,8 @@ let drain t ~cycles =
         let core = t.cores.(i) in
         core.Core.clock <- max core.Core.clock time;
         m.fn core;
-        m.next.(i) <- m.next.(i) + m.period
+        m.next.(i) <- m.next.(i) + m.period;
+        refresh_maint_min t i
   done;
   Array.iter
     (fun (c : Core.t) -> c.Core.clock <- max c.Core.clock target)
@@ -183,22 +188,24 @@ let drain t ~cycles =
 let seconds t cycles = float_of_int cycles /. t.params.Params.clock_hz
 
 let wait_hint t (core : Core.t) =
-  let earliest_other = ref None in
-  Array.iteri
-    (fun i w ->
-      if i <> core.Core.id && w <> None then
-        let c = eff_clock t.cores.(i) in
-        earliest_other :=
-          Some (match !earliest_other with None -> c | Some v -> min v c))
-    t.workloads;
+  let n = Array.length t.cores in
+  let earliest_other = ref max_int in
+  for i = 0 to n - 1 do
+    if i <> core.Core.id then
+      match Array.unsafe_get t.workloads i with
+      | Some _ ->
+          let c = Array.unsafe_get t.cores i in
+          let e = c.Core.clock + c.Core.pending_intr in
+          if e < !earliest_other then earliest_other := e
+      | None -> ()
+  done;
   (* Poll roughly every microsecond of simulated time: fine enough that
      cross-core events are observed promptly relative to phase lengths,
      coarse enough that waiting cores do not flood the scheduler with
      cycle-sized steps. *)
   let poll = core.Core.clock + (16 * t.params.Params.op_cost) in
-  match !earliest_other with
-  | None -> core.Core.clock <- poll
-  | Some other -> core.Core.clock <- max poll (other + 1)
+  if !earliest_other = max_int then core.Core.clock <- poll
+  else core.Core.clock <- max poll (!earliest_other + 1)
 
 let ipi_free_at t = t.ipi_free
 let set_ipi_free_at t v = t.ipi_free <- v

@@ -7,9 +7,12 @@ type t = {
   mutable next : int;
   free_lists : int list array;  (* per home core *)
   list_lines : Line.t array;  (* cache line of each free-list head *)
-  home : (int, int) Hashtbl.t;  (* frame -> home core *)
-  content : (int, int) Hashtbl.t;  (* frame -> one-word content summary *)
-  allocated : (int, unit) Hashtbl.t;  (* liveness: frames currently out *)
+  (* Frame numbers are dense (0 .. next-1), so per-frame metadata lives in
+     flat arrays grown geometrically — the alloc/free/content paths run on
+     every page fault and must not hash. *)
+  mutable home : int array;  (* frame -> home core *)
+  mutable content : int array;  (* frame -> one-word content summary *)
+  mutable allocated : Bytes.t;  (* liveness: frames currently out *)
   mutable live : int;
   mutable fault : Fault.t option;
 }
@@ -25,14 +28,32 @@ let create params stats =
       Array.init n (fun i ->
           Line.create ~label:"physmem:freelist" params stats
             ~home_socket:(Params.socket_of_core params i));
-    home = Hashtbl.create 4096;
-    content = Hashtbl.create 4096;
-    allocated = Hashtbl.create 4096;
+    home = Array.make 4096 (-1);
+    content = Array.make 4096 0;
+    allocated = Bytes.make 4096 '\000';
     live = 0;
     fault = None;
   }
 
 let set_fault t f = t.fault <- f
+
+let ensure_frame t frame =
+  let cap = Array.length t.home in
+  if frame >= cap then begin
+    let ncap = ref (cap * 2) in
+    while frame >= !ncap do
+      ncap := !ncap * 2
+    done;
+    let home = Array.make !ncap (-1) in
+    Array.blit t.home 0 home 0 cap;
+    t.home <- home;
+    let content = Array.make !ncap 0 in
+    Array.blit t.content 0 content 0 cap;
+    t.content <- content;
+    let allocated = Bytes.make !ncap '\000' in
+    Bytes.blit t.allocated 0 allocated 0 cap;
+    t.allocated <- allocated
+  end
 
 let alloc t (core : Core.t) =
   (match t.fault with
@@ -55,14 +76,15 @@ let alloc t (core : Core.t) =
     | [] ->
         let f = t.next in
         t.next <- t.next + 1;
-        Hashtbl.replace t.home f id;
+        ensure_frame t f;
+        t.home.(f) <- id;
         f
   in
   t.stats.Stats.frames_allocated <- t.stats.Stats.frames_allocated + 1;
   t.live <- t.live + 1;
-  Hashtbl.replace t.allocated frame ();
+  Bytes.unsafe_set t.allocated frame '\001';
   (* zero-fill *)
-  Hashtbl.replace t.content frame 0;
+  t.content.(frame) <- 0;
   Core.tick core t.params.Params.page_zero;
   frame
 
@@ -70,28 +92,30 @@ let try_alloc t core =
   match alloc t core with f -> Some f | exception Out_of_frames -> None
 
 let free t (core : Core.t) frame =
-  let home =
-    match Hashtbl.find_opt t.home frame with
-    | Some h -> h
-    | None -> invalid_arg "Physmem.free: unknown frame"
-  in
+  if frame < 0 || frame >= t.next then
+    invalid_arg "Physmem.free: unknown frame";
+  let home = t.home.(frame) in
   (* A frame that is known but not live is being freed twice. Without the
      liveness check the second free would silently push the frame onto the
      free list again — two later allocs would hand out the same frame —
      and [live] would go negative. *)
-  if not (Hashtbl.mem t.allocated frame) then raise (Double_free frame);
-  Hashtbl.remove t.allocated frame;
+  if Bytes.get t.allocated frame = '\000' then raise (Double_free frame);
+  Bytes.set t.allocated frame '\000';
   Line.write_atomic core t.list_lines.(home);
   t.free_lists.(home) <- frame :: t.free_lists.(home);
   t.stats.Stats.frames_freed <- t.stats.Stats.frames_freed + 1;
   t.live <- t.live - 1
 
-let is_live t frame = Hashtbl.mem t.allocated frame
+let is_live t frame =
+  frame >= 0 && frame < t.next && Bytes.get t.allocated frame = '\001'
 
-let set_content t frame v = Hashtbl.replace t.content frame v
+let set_content t frame v =
+  if frame < 0 || frame >= t.next then
+    invalid_arg "Physmem.set_content: unknown frame";
+  t.content.(frame) <- v
 
 let get_content t frame =
-  match Hashtbl.find_opt t.content frame with Some v -> v | None -> 0
+  if frame >= 0 && frame < t.next then t.content.(frame) else 0
 
 let live_frames t = t.live
 let total_frames t = t.next

@@ -22,6 +22,10 @@ val create : ?obs:Obs.t -> ?core:int -> ?asid:int -> capacity:int -> unit -> t
 val lookup : t -> int -> entry option
 (** [lookup t vpn] is the cached translation for [vpn], if present. *)
 
+val lookup_packed : t -> int -> int
+(** Allocation-free variant of {!lookup} for the MMU fast path: [-1] when
+    absent, otherwise [pfn lsl 1 lor writable]. *)
+
 val insert : t -> vpn:int -> pfn:int -> writable:bool -> unit
 (** Insert a translation, evicting the oldest entry if full. *)
 

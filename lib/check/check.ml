@@ -99,19 +99,33 @@ type rc_rec = {
   mutable rr_freed : bool;
 }
 
+(* A core's held locks in one mode: a multiset (count per id) plus a
+   sorted array of the distinct ids, maintained incrementally on 0 -> 1
+   and 1 -> 0 count transitions. The counts answer the per-candidate
+   membership probe of [full_filter] in O(1); the sorted array seeds a
+   line's candidate set with a single [Array.sub] — the former
+   sort-on-demand rebuilt and re-sorted the whole set once per lock
+   event, O(held log held) each time under a wide [Radix.lock_range]. *)
+type lockset = {
+  counts : int Int_table.t;
+  mutable sorted : int array;
+  mutable sorted_len : int;
+}
+
 type t = {
   machine : Machine.t;
-  lines : (int, line_rec) Hashtbl.t;
+  lines : line_rec Int_table.t;
+  dummy_line_rec : line_rec;
   held : held_lock list array;  (* per core, most recent acquisition first *)
-  held_all : (int, int) Hashtbl.t array;
-      (* per core: lock id -> hold count, every mode. Incremental mirror
-         of [held] so lockset queries cost O(1) per lock instead of
-         rebuilding a set from the whole held list on every shared
-         access — a full-address-space operation holds thousands of slot
-         locks, and the rebuild made every access under it O(held). *)
-  held_wr : (int, int) Hashtbl.t array;
-      (* per core: lock id -> count of write-mode holds only *)
-  seen_locks : (int, unit) Hashtbl.t;
+  held_all : lockset array;
+      (* per core: every mode. Incremental mirror of [held] so lockset
+         queries cost O(1) per lock instead of rebuilding a set from the
+         whole held list on every shared access — a full-address-space
+         operation holds thousands of slot locks, and the rebuild made
+         every access under it O(held). *)
+  held_wr : lockset array;
+      (* per core: write-mode holds only *)
+  seen_locks : int Int_table.t;
       (* locks that have completed a first acquisition; see note_acquire *)
   rel_ver : int array;  (* per core: total releases; versions the memos *)
   rel_ring : int array array;
@@ -119,16 +133,14 @@ type t = {
          release number mod [ring_size]. Lets a refinement prove "no
          candidate was released since the memo" with a few binary searches
          instead of a full filter. *)
-  acq_ver : int array;  (* per core: total acquires; keys the seed cache *)
-  seed_cache : (int * int * int array) array;
-      (* per (core, write-mode): (acq_ver, rel_ver, sorted held lock ids)
-         at the time the entry was built. Lines transitioning to Shared
-         between two lock events seed identical candidate sets; the cache
-         builds the sorted array once per lock event instead of per line. *)
-  edges : (int * int, lock_edge) Hashtbl.t;
-  tlb : (int * int, unit) Hashtbl.t array;
-      (* per core: (asid, vpn) pairs it may cache *)
-  rc : (int, rc_rec) Hashtbl.t;
+  edges : lock_edge Int_table.t;
+      (* keyed [from lsl 31 lor to]: lock ids are line ids, far below
+         2^31 in any feasible run, so the packing is injective *)
+  tlb : int Int_table.t array;
+      (* per core: [asid lsl 44 lor vpn] keys it may cache (vpns fit 44
+         bits — the simulated address space tops out well below that) *)
+  rc : rc_rec Int_table.t;
+  dummy_rc : rc_rec;
   mutable races : race list;
   mutable tlb_violations : tlb_violation list;
   mutable rc_violations : rc_violation list;
@@ -136,28 +148,29 @@ type t = {
 }
 
 let line_rec t line label =
-  match Hashtbl.find_opt t.lines line with
-  | Some r -> r
-  | None ->
-      let r =
-        {
-          lr_label = label;
-          lr_state = Virgin;
-          lr_cand = [||];
-          lr_cand_len = 0;
-          lr_readers = IS.empty;
-          lr_writers = IS.empty;
-          lr_reads = 0;
-          lr_writes = 0;
-          lr_raced = false;
-          lr_rd_core = -1;
-          lr_rd_ver = -1;
-          lr_wr_core = -1;
-          lr_wr_ver = -1;
-        }
-      in
-      Hashtbl.replace t.lines line r;
-      r
+  let r = Int_table.find_default t.lines line t.dummy_line_rec in
+  if r != t.dummy_line_rec then r
+  else begin
+    let r =
+      {
+        lr_label = label;
+        lr_state = Virgin;
+        lr_cand = [||];
+        lr_cand_len = 0;
+        lr_readers = IS.empty;
+        lr_writers = IS.empty;
+        lr_reads = 0;
+        lr_writes = 0;
+        lr_raced = false;
+        lr_rd_core = -1;
+        lr_rd_ver = -1;
+        lr_wr_core = -1;
+        lr_wr_ver = -1;
+      }
+    in
+    Int_table.set t.lines line r;
+    r
+  end
 
 (* The lockset protecting an access: read-mode rwlock acquisitions protect
    only reads (two readers cannot conflict, but a reader does not exclude a
@@ -165,30 +178,63 @@ let line_rec t line label =
    full lockset materialisation once, at its Exclusive -> Shared
    transition, and afterwards only filters its own candidate set — and the
    per-mode memos skip even that while the owning core releases nothing. *)
-let held_table t ~core ~write = if write then t.held_wr.(core) else t.held_all.(core)
+let held_ls t ~core ~write = if write then t.held_wr.(core) else t.held_all.(core)
 
 let ring_size = 64
 
-(* Sorted array of the lock ids currently held by [core] (in [write] mode
-   when [write]), cached between lock events. Callers must not mutate the
-   returned array. *)
-let lockset_arr t ~core ~write =
-  let slot = (2 * core) + if write then 1 else 0 in
-  let acq, rel, arr = t.seed_cache.(slot) in
-  if acq = t.acq_ver.(core) && rel = t.rel_ver.(core) then arr
-  else begin
-    let tbl = held_table t ~core ~write in
-    let arr = Array.make (Hashtbl.length tbl) 0 in
-    let i = ref 0 in
-    Hashtbl.iter
-      (fun id _ ->
-        arr.(!i) <- id;
-        incr i)
-      tbl;
-    Array.sort compare arr;
-    t.seed_cache.(slot) <- (t.acq_ver.(core), t.rel_ver.(core), arr);
-    arr
+(* Blit between [int array]s by plain stores: the type is statically
+   immediate, so each store compiles barrier-free, where [Array.blit] on
+   a major-heap destination pays the generic write barrier per element.
+   Handles overlap within one array for shifts in either direction. *)
+let int_blit (src : int array) spos (dst : int array) dpos len =
+  if dpos <= spos then
+    for k = 0 to len - 1 do
+      Array.unsafe_set dst (dpos + k) (Array.unsafe_get src (spos + k))
+    done
+  else
+    for k = len - 1 downto 0 do
+      Array.unsafe_set dst (dpos + k) (Array.unsafe_get src (spos + k))
+    done
+
+let int_sub src len =
+  let dst = Array.make len 0 in
+  int_blit src 0 dst 0 len;
+  dst
+
+(* Position of [id] (or its insertion point) in [ls.sorted]. *)
+let ls_pos ls id =
+  let lo = ref 0 and hi = ref ls.sorted_len in
+  while !hi > !lo do
+    let mid = (!lo + !hi) / 2 in
+    if Array.unsafe_get ls.sorted mid < id then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let ls_incr ls id =
+  let c = Int_table.find_default ls.counts id 0 in
+  Int_table.set ls.counts id (c + 1);
+  if c = 0 then begin
+    let pos = ls_pos ls id in
+    let len = ls.sorted_len in
+    if len = Array.length ls.sorted then begin
+      let bigger = Array.make (max 16 (2 * len)) 0 in
+      int_blit ls.sorted 0 bigger 0 len;
+      ls.sorted <- bigger
+    end;
+    int_blit ls.sorted pos ls.sorted (pos + 1) (len - pos);
+    ls.sorted.(pos) <- id;
+    ls.sorted_len <- len + 1
   end
+
+let ls_decr ls id =
+  match Int_table.find_default ls.counts id 0 with
+  | 0 -> ()  (* release without acquire: tolerated (attached mid-run) *)
+  | 1 ->
+      Int_table.remove ls.counts id;
+      let pos = ls_pos ls id in
+      int_blit ls.sorted (pos + 1) ls.sorted pos (ls.sorted_len - pos - 1);
+      ls.sorted_len <- ls.sorted_len - 1
+  | n -> Int_table.set ls.counts id (n - 1)
 
 let cand_mem r id =
   let lo = ref 0 and hi = ref r.lr_cand_len in
@@ -199,11 +245,11 @@ let cand_mem r id =
   !lo < r.lr_cand_len && r.lr_cand.(!lo) = id
 
 let full_filter t r ~core ~write =
-  let tbl = held_table t ~core ~write in
+  let tbl = (held_ls t ~core ~write).counts in
   let j = ref 0 in
   for i = 0 to r.lr_cand_len - 1 do
     let id = r.lr_cand.(i) in
-    if Hashtbl.mem tbl id then begin
+    if Int_table.mem tbl id then begin
       r.lr_cand.(!j) <- id;
       incr j
     end
@@ -248,15 +294,6 @@ let refine_cand t r ~core ~write =
   if not unchanged then full_filter t r ~core ~write;
   mark_refined t r ~core ~write
 
-let count_incr tbl id =
-  Hashtbl.replace tbl id (1 + Option.value ~default:0 (Hashtbl.find_opt tbl id))
-
-let count_decr tbl id =
-  match Hashtbl.find_opt tbl id with
-  | Some 1 -> Hashtbl.remove tbl id
-  | Some n -> Hashtbl.replace tbl id (n - 1)
-  | None -> ()  (* release without acquire: tolerated (attached mid-run) *)
-
 let note_census r ~core ~write =
   if write then begin
     r.lr_writers <- IS.add core r.lr_writers;
@@ -288,9 +325,9 @@ let note_plain t r ~line ~core ~write =
   | Exclusive c when c = core -> ()
   | Exclusive _ ->
       (* Second core: the candidate set starts as this access's lockset. *)
-      let seed = lockset_arr t ~core ~write in
-      r.lr_cand <- Array.copy seed;
-      r.lr_cand_len <- Array.length seed;
+      let ls = held_ls t ~core ~write in
+      r.lr_cand <- int_sub ls.sorted ls.sorted_len;
+      r.lr_cand_len <- ls.sorted_len;
       mark_refined t r ~core ~write;
       if write then begin
         r.lr_state <- Shared_mod;
@@ -336,13 +373,13 @@ let note_acquire t ~core ~lock ~line ~label ~rd =
      such a lock and no deadlock can involve that acquisition. Recording
      it would thread held-stack -> newborn edges through the graph and
      report the birth pattern as a cycle. *)
-  let virgin = not (Hashtbl.mem t.seen_locks lock) in
-  if virgin then Hashtbl.replace t.seen_locks lock ();
+  let virgin = not (Int_table.mem t.seen_locks lock) in
+  if virgin then Int_table.set t.seen_locks lock 1;
   (match held with
   | h :: _ when (not virgin) && h.hl_lock <> lock ->
-      if not (Hashtbl.mem t.edges (h.hl_lock, lock)) then
-        Hashtbl.replace t.edges
-          (h.hl_lock, lock)
+      let key = (h.hl_lock lsl 31) lor lock in
+      if not (Int_table.mem t.edges key) then
+        Int_table.set t.edges key
           {
             e_from = h.hl_lock;
             e_from_label = h.hl_label;
@@ -352,9 +389,8 @@ let note_acquire t ~core ~lock ~line ~label ~rd =
             e_held = held;
           }
   | _ -> ());
-  count_incr t.held_all.(core) lock;
-  if not rd then count_incr t.held_wr.(core) lock;
-  t.acq_ver.(core) <- t.acq_ver.(core) + 1;
+  ls_incr t.held_all.(core) lock;
+  if not rd then ls_incr t.held_wr.(core) lock;
   t.held.(core) <-
     { hl_lock = lock; hl_label = label; hl_rd = rd } :: held
 
@@ -374,8 +410,8 @@ let note_release t ~core ~lock ~line ~label =
   (* Keep the count tables in step with the entry actually removed. *)
   match !dropped with
   | Some h ->
-      count_decr t.held_all.(core) lock;
-      if not h.hl_rd then count_decr t.held_wr.(core) lock;
+      ls_decr t.held_all.(core) lock;
+      if not h.hl_rd then ls_decr t.held_wr.(core) lock;
       let ver = t.rel_ver.(core) in
       t.rel_ring.(core).(ver mod ring_size) <- lock;
       t.rel_ver.(core) <- ver + 1
@@ -383,14 +419,15 @@ let note_release t ~core ~lock ~line ~label =
 
 let note_rc t ~core ~oid ~label f =
   let r =
-    match Hashtbl.find_opt t.rc oid with
-    | Some r -> r
-    | None ->
-        let r =
-          { rr_label = label; rr_count = 0; rr_made = false; rr_freed = false }
-        in
-        Hashtbl.replace t.rc oid r;
-        r
+    let r = Int_table.find_default t.rc oid t.dummy_rc in
+    if r != t.dummy_rc then r
+    else begin
+      let r =
+        { rr_label = label; rr_count = 0; rr_made = false; rr_freed = false }
+      in
+      Int_table.set t.rc oid r;
+      r
+    end
   in
   match f r with
   | None -> ()
@@ -409,15 +446,17 @@ let handle t = function
   | Obs.Release { core; lock; line; label; rd = _ } ->
       note_release t ~core ~lock ~line ~label
   | Obs.Tlb_fill { core; asid; vpn } ->
-      Hashtbl.replace t.tlb.(core) (asid, vpn) ()
-  | Obs.Tlb_drop { core; asid; vpn } -> Hashtbl.remove t.tlb.(core) (asid, vpn)
+      Int_table.set t.tlb.(core) ((asid lsl 44) lor vpn) 1
+  | Obs.Tlb_drop { core; asid; vpn } ->
+      Int_table.remove t.tlb.(core) ((asid lsl 44) lor vpn)
   | Obs.Unmap_done { core; asid; lo; hi } ->
       (* Staleness is scoped to one address space: another MMU's
          translation for the same vpn on the same core is unrelated. *)
       Array.iteri
         (fun c tbl ->
-          Hashtbl.iter
-            (fun (a, vpn) () ->
+          Int_table.iter
+            (fun key _ ->
+              let a = key lsr 44 and vpn = key land ((1 lsl 44) - 1) in
               if a = asid && vpn >= lo && vpn < hi then
                 t.tlb_violations <-
                   {
@@ -459,21 +498,51 @@ let handle t = function
 
 let attach machine =
   let ncores = Machine.ncores machine in
+  let dummy_line_rec =
+    {
+      lr_label = "";
+      lr_state = Virgin;
+      lr_cand = [||];
+      lr_cand_len = 0;
+      lr_readers = IS.empty;
+      lr_writers = IS.empty;
+      lr_reads = 0;
+      lr_writes = 0;
+      lr_raced = false;
+      lr_rd_core = -1;
+      lr_rd_ver = -1;
+      lr_wr_core = -1;
+      lr_wr_ver = -1;
+    }
+  in
+  let dummy_edge =
+    { e_from = -1; e_from_label = ""; e_to = -1; e_to_label = ""; e_core = -1; e_held = [] }
+  in
+  let dummy_rc =
+    { rr_label = ""; rr_count = 0; rr_made = false; rr_freed = false }
+  in
+  let fresh_ls () =
+    {
+      counts = Int_table.create ~size_hint:64 0;
+      sorted = Array.make 64 0;
+      sorted_len = 0;
+    }
+  in
   let t =
     {
       machine;
-      lines = Hashtbl.create 4096;
+      lines = Int_table.create ~size_hint:4096 dummy_line_rec;
+      dummy_line_rec;
       held = Array.make ncores [];
-      held_all = Array.init ncores (fun _ -> Hashtbl.create 64);
-      held_wr = Array.init ncores (fun _ -> Hashtbl.create 64);
-      seen_locks = Hashtbl.create 1024;
+      held_all = Array.init ncores (fun _ -> fresh_ls ());
+      held_wr = Array.init ncores (fun _ -> fresh_ls ());
+      seen_locks = Int_table.create ~size_hint:1024 0;
       rel_ver = Array.make ncores 0;
       rel_ring = Array.init ncores (fun _ -> Array.make ring_size (-1));
-      acq_ver = Array.make ncores 0;
-      seed_cache = Array.make (2 * ncores) (-1, -1, [||]);
-      edges = Hashtbl.create 64;
-      tlb = Array.init ncores (fun _ -> Hashtbl.create 64);
-      rc = Hashtbl.create 1024;
+      edges = Int_table.create ~size_hint:64 dummy_edge;
+      tlb = Array.init ncores (fun _ -> Int_table.create ~size_hint:64 0);
+      rc = Int_table.create ~size_hint:1024 dummy_rc;
+      dummy_rc;
       races = [];
       tlb_violations = [];
       rc_violations = [];
@@ -493,7 +562,7 @@ let detach t = Obs.set_sink (Machine.obs t.machine) None
    as they are excluded from the paper's steady-state averages. *)
 let reset_window t =
   t.accesses <- 0;
-  Hashtbl.iter
+  Int_table.iter
     (fun _ r ->
       r.lr_readers <- IS.empty;
       r.lr_writers <- IS.empty;
@@ -528,9 +597,8 @@ let leaked_locks t =
   List.rev !acc
 
 let rc_count t ~oid =
-  match Hashtbl.find_opt t.rc oid with
-  | Some r when r.rr_made -> Some r.rr_count
-  | _ -> None
+  let r = Int_table.find_default t.rc oid t.dummy_rc in
+  if r != t.dummy_rc && r.rr_made then Some r.rr_count else None
 
 let line_info line r =
   {
@@ -543,7 +611,7 @@ let line_info line r =
   }
 
 let multi_writer_lines ?(allow = []) t =
-  Hashtbl.fold
+  Int_table.fold
     (fun line r acc ->
       if IS.cardinal r.lr_writers >= 2 && not (List.mem r.lr_label allow) then
         line_info line r :: acc
@@ -562,7 +630,7 @@ type label_census = {
 
 let census t =
   let tbl = Hashtbl.create 32 in
-  Hashtbl.iter
+  Int_table.iter
     (fun _ r ->
       let c =
         match Hashtbl.find_opt tbl r.lr_label with
@@ -596,10 +664,10 @@ let census t =
    to that SCC so the report can show each edge's acquisition context. *)
 let cycles t =
   let adj = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun (a, _) e ->
-      Hashtbl.replace adj a
-        (e :: (match Hashtbl.find_opt adj a with Some l -> l | None -> [])))
+  Int_table.iter
+    (fun _ e ->
+      Hashtbl.replace adj e.e_from
+        (e :: (match Hashtbl.find_opt adj e.e_from with Some l -> l | None -> [])))
     t.edges;
   let index = Hashtbl.create 64 in
   let lowlink = Hashtbl.create 64 in

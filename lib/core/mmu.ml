@@ -26,24 +26,25 @@ type translation = Hit of int | Miss | Prot_fault of int
 
 let translate t (core : Core.t) ~vpn ~write =
   let stats = core.Core.stats and params = core.Core.params in
-  match Tlb.lookup t.tlbs.(core.Core.id) vpn with
-  | Some entry ->
-      stats.Stats.tlb_hits <- stats.Stats.tlb_hits + 1;
-      Core.tick core params.Params.tlb_hit;
-      if write && not entry.Tlb.writable then Prot_fault entry.Tlb.pfn
-      else Hit entry.Tlb.pfn
-  | None -> (
-      stats.Stats.tlb_misses <- stats.Stats.tlb_misses + 1;
-      Core.tick core params.Params.hw_walk_base;
-      match Page_table.find t.pt core ~vpn with
-      | Some pte ->
-          stats.Stats.hw_walks <- stats.Stats.hw_walks + 1;
-          Tlb.insert t.tlbs.(core.Core.id) ~vpn ~pfn:pte.Page_table.pfn
-            ~writable:pte.Page_table.writable;
-          if write && not pte.Page_table.writable then
-            Prot_fault pte.Page_table.pfn
-          else Hit pte.Page_table.pfn
-      | None -> Miss)
+  let packed = Tlb.lookup_packed t.tlbs.(core.Core.id) vpn in
+  if packed >= 0 then begin
+    stats.Stats.tlb_hits <- stats.Stats.tlb_hits + 1;
+    Core.tick core params.Params.tlb_hit;
+    let pfn = packed lsr 1 in
+    if write && packed land 1 = 0 then Prot_fault pfn else Hit pfn
+  end
+  else begin
+    stats.Stats.tlb_misses <- stats.Stats.tlb_misses + 1;
+    Core.tick core params.Params.hw_walk_base;
+    let packed = Page_table.find_packed t.pt core ~vpn in
+    if packed < 0 then Miss
+    else begin
+      stats.Stats.hw_walks <- stats.Stats.hw_walks + 1;
+      let pfn = packed lsr 1 and writable = packed land 1 = 1 in
+      Tlb.insert t.tlbs.(core.Core.id) ~vpn ~pfn ~writable;
+      if write && not writable then Prot_fault pfn else Hit pfn
+    end
+  end
 
 let install t (core : Core.t) ~vpn ~pfn ~writable =
   Page_table.install t.pt core ~vpn ~pfn ~writable;

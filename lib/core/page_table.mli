@@ -26,6 +26,10 @@ val kind : t -> kind
 val find : t -> Ccsim.Core.t -> vpn:int -> pte option
 (** Hardware walk by [core] (reads its own table when [Per_core]). *)
 
+val find_packed : t -> Ccsim.Core.t -> vpn:int -> int
+(** Allocation-free {!find} for the translation fast path: [-1] when
+    absent, otherwise [pfn lsl 1 lor writable]. *)
+
 val install : t -> Ccsim.Core.t -> vpn:int -> pfn:int -> writable:bool -> unit
 (** Fill the PTE visible to [core]. *)
 

@@ -72,7 +72,9 @@ module Make (C : Refcnt.Counter_intf.S) = struct
   let mmu t = t.mmu
   let address_space_pages t = Radix.max_vpn t.tree
 
-  let writable m = m.prot = Vm_types.Read_write && not m.cow
+  let writable m =
+    (match m.prot with Vm_types.Read_write -> true | Vm_types.Read_only -> false)
+    && not m.cow
 
   (* With grouped tables, any group member may fill its TLB from the group
      table without faulting: widen per-core tracking to whole groups. *)
@@ -370,7 +372,12 @@ module Make (C : Refcnt.Counter_intf.S) = struct
       abort_point core ~op:"pagefault" ~point:"locked";
       match Radix.get_page t.tree core lk vpn with
       | None -> None
-      | Some m when write && m.prot = Vm_types.Read_only -> None
+      | Some m
+        when write
+             && match m.prot with
+                | Vm_types.Read_only -> true
+                | Vm_types.Read_write -> false ->
+          None
       | Some m ->
           let m =
             match m.frame with

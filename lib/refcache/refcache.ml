@@ -19,8 +19,22 @@ and weakref = {
   wline : Line.t;
 }
 
-type slot = { mutable sobj : obj option; mutable delta : int }
-type percore = { slots : slot array; review : (obj * int) Queue.t }
+type slot = {
+  mutable sobj : obj option;
+  mutable delta : int;
+  mutable queued : bool;  (* on this core's dirty list *)
+}
+
+(* [dirty] lists the slots touched since the last flush (every slot with a
+   nonzero delta is on it — flush zeroes all deltas, so a nonzero delta
+   implies a touch since). Flush walks it instead of all [cache_slots]
+   slots, which turns the per-epoch maintenance cost from O(cache size)
+   into O(slots actually used this epoch). *)
+type percore = {
+  slots : slot array;
+  mutable dirty_slots : int list;
+  review : (obj * int) Queue.t;
+}
 
 type t = {
   mask : int;
@@ -85,7 +99,8 @@ let cached_delta t (core : Core.t) obj d =
   assert (not obj.freed);
   (* The delta cache is core-private: constant local cost, no line traffic. *)
   Core.tick core (2 * core.Core.params.Params.l1_hit);
-  let slots = t.percore.(core.Core.id).slots in
+  let pc = t.percore.(core.Core.id) in
+  let slots = pc.slots in
   let way0 = hash_obj t obj land lnot 1 in
   let s0 = slots.(way0) and s1 = slots.(way0 lor 1) in
   let s =
@@ -114,7 +129,11 @@ let cached_delta t (core : Core.t) obj d =
     s.sobj <- Some obj;
     s.delta <- 0
   end;
-  s.delta <- s.delta + d
+  s.delta <- s.delta + d;
+  if not s.queued then begin
+    s.queued <- true;
+    pc.dirty_slots <- (if s == s1 then way0 lor 1 else way0) :: pc.dirty_slots
+  end
 
 let inc t (core : Core.t) obj =
   emit core (Obs.Rc_inc { core = core.Core.id; oid = obj.oid; label = obj.label });
@@ -179,14 +198,21 @@ let review t (core : Core.t) =
 let flush t (core : Core.t) =
   let id = core.Core.id in
   Core.tick core core.Core.params.Params.op_cost;
-  Array.iter
-    (fun s ->
+  let pc = t.percore.(id) in
+  (* Ascending slot order, exactly the full-array walk's eviction order —
+     eviction order is observable (line-stall timing, lock events). *)
+  let dirty = List.sort compare pc.dirty_slots in
+  pc.dirty_slots <- [];
+  List.iter
+    (fun i ->
+      let s = pc.slots.(i) in
+      s.queued <- false;
       match s.sobj with
       | Some o when s.delta <> 0 ->
           evict t core o s.delta;
           s.delta <- 0
       | _ -> ())
-    t.percore.(id).slots;
+    dirty;
   if not t.flushed.(id) then begin
     t.flushed.(id) <- true;
     t.nflushed <- t.nflushed + 1;
@@ -209,7 +235,9 @@ let create ?(cache_slots = 4096) machine =
         Array.init n (fun _ ->
             {
               slots =
-                Array.init cache_slots (fun _ -> { sobj = None; delta = 0 });
+                Array.init cache_slots (fun _ ->
+                    { sobj = None; delta = 0; queued = false });
+              dirty_slots = [];
               review = Queue.create ();
             });
       global_epoch = 0;

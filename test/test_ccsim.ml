@@ -60,6 +60,51 @@ let bitset_model =
       let model = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) m []) in
       Bitset.elements b = model && Bitset.cardinal b = List.length model)
 
+(* The query surface the line-directory miss path depends on — [mem],
+   [iter]/[fold] order, [exists_other], [mem_range_other] — against the
+   same naive model. The 32-bit word split and the mask arithmetic of the
+   range query are exactly the kind of code an off-by-one slips into. *)
+let bitset_query_model =
+  QCheck.Test.make ~name:"bitset queries match set model" ~count:300
+    QCheck.(
+      pair
+        (list (pair (int_bound 99) bool))
+        (pair (int_bound 99) (pair (int_bound 100) (int_bound 100))))
+    (fun (ops, (probe, (r1, r2))) ->
+      let b = Bitset.create 100 in
+      let m = Hashtbl.create 16 in
+      List.iter
+        (fun (i, add) ->
+          if add then begin
+            Bitset.add b i;
+            Hashtbl.replace m i ()
+          end
+          else begin
+            Bitset.remove b i;
+            Hashtbl.remove m i
+          end)
+        ops;
+      let model = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) m []) in
+      let mem_ok =
+        List.for_all (fun i -> Bitset.mem b i = Hashtbl.mem m i)
+          (List.init 100 Fun.id)
+      in
+      let iter_ok =
+        let seen = ref [] in
+        Bitset.iter (fun i -> seen := i :: !seen) b;
+        List.rev !seen = model
+      in
+      let fold_ok = Bitset.fold (fun _ n -> n + 1) b 0 = List.length model in
+      let exists_other_ok =
+        Bitset.exists_other b probe = List.exists (fun i -> i <> probe) model
+      in
+      let lo = min r1 r2 and hi = max r1 r2 in
+      let range_ok =
+        Bitset.mem_range_other b ~lo ~hi probe
+        = List.exists (fun i -> i >= lo && i < hi && i <> probe) model
+      in
+      mem_ok && iter_ok && fold_ok && exists_other_ok && range_ok)
+
 (* ------------------------------------------------------------------ *)
 (* Cache-line cost model                                               *)
 
@@ -587,6 +632,82 @@ let test_stats_conservation () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Random op sequences against a naive model that mirrors the TLB's
+   replacement scheme directly: a live map plus an *uncompacted* ring of
+   every insertion (duplicates and stale entries included). Eviction pops
+   the ring until it removes a live vpn — note that a vpn re-inserted
+   after invalidation is revived at its old ring position, so its
+   eviction age spans the invalidation; a plain first-insert FIFO list is
+   *not* a correct model. Because the model never compacts while the real
+   TLB does, contents agreement is exactly the claim that compaction
+   preserves eviction order. The queue-length bound is also asserted
+   after every op: invalidation compacts the ring back to the live set
+   once it passes twice the capacity, and at most [capacity] insert-only
+   pushes fit between invalidations, so it stays below 3 * capacity. *)
+let tlb_model =
+  let cap = 8 in
+  let universe = 3 * cap in
+  QCheck.Test.make ~name:"tlb matches fifo model" ~count:300
+    QCheck.(
+      list_of_size Gen.(int_range 1 120)
+        (tup3 (int_bound 9) (int_bound (universe - 1)) (int_bound (universe - 1))))
+    (fun ops ->
+      let t = Tlb.create ~capacity:cap () in
+      let live = Hashtbl.create 16 in
+      let ring = ref [] in  (* oldest first *)
+      let ok = ref true in
+      List.iter
+        (fun (tag, a, b) ->
+          (match tag with
+          | 0 | 1 | 2 | 3 | 4 | 5 ->
+              (* insert: value derived from the op so updates are visible *)
+              let pfn = (a * 7) + b and writable = b land 1 = 1 in
+              Tlb.insert t ~vpn:a ~pfn ~writable;
+              if Hashtbl.mem live a then Hashtbl.replace live a (pfn, writable)
+              else begin
+                if Hashtbl.length live >= cap then begin
+                  let rec evict = function
+                    | [] -> []
+                    | v :: rest ->
+                        if Hashtbl.mem live v then begin
+                          Hashtbl.remove live v;
+                          rest
+                        end
+                        else evict rest
+                  in
+                  ring := evict !ring
+                end;
+                Hashtbl.replace live a (pfn, writable);
+                ring := !ring @ [ a ]
+              end
+          | 6 | 7 ->
+              Tlb.invalidate t a;
+              Hashtbl.remove live a
+          | 8 ->
+              let lo = min a b and hi = max a b in
+              Tlb.invalidate_range t ~lo ~hi;
+              for vpn = lo to hi - 1 do
+                Hashtbl.remove live vpn
+              done
+          | _ ->
+              Tlb.flush t;
+              Hashtbl.reset live;
+              ring := []);
+          if Tlb.size t <> Hashtbl.length live then ok := false;
+          if Tlb.queue_length t >= 3 * cap then ok := false)
+        ops;
+      let lookups_agree =
+        List.for_all
+          (fun vpn ->
+            match (Tlb.lookup t vpn, Hashtbl.find_opt live vpn) with
+            | None, None -> true
+            | Some e, Some (pfn, writable) ->
+                e.Tlb.pfn = pfn && e.Tlb.writable = writable
+            | _ -> false)
+          (List.init universe Fun.id)
+      in
+      !ok && lookups_agree)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "ccsim"
@@ -597,6 +718,7 @@ let () =
           tc "bounds" `Quick test_bitset_bounds;
           tc "union" `Quick test_bitset_union;
           QCheck_alcotest.to_alcotest bitset_model;
+          QCheck_alcotest.to_alcotest bitset_query_model;
         ] );
       ( "line",
         [
@@ -623,6 +745,7 @@ let () =
             test_tlb_fifo_order_with_invalidations;
           tc "queue bounded under churn" `Quick
             test_tlb_queue_bounded_under_churn;
+          QCheck_alcotest.to_alcotest tlb_model;
           tc "invalidate_range paths" `Quick test_tlb_invalidate_range_paths;
         ] );
       ( "ids",

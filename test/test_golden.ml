@@ -1,0 +1,130 @@
+(* Golden-artifact differential test: the byte-exact contract that host
+   performance work must not move the simulation.
+
+   Regenerates, in-process, the artifacts of a `--quick --jobs 2` sweep
+   (BENCH_fig5.json, BENCH_fig9.json, BENCH_table2.json) and the
+   transcript of the seed-42 checked fuzz session, digests each, and
+   compares against the digests committed in test/golden/digests.txt.
+   Any drift in the cost model or operation semantics — including from
+   host-side optimization of the simulator's hot paths — changes the
+   simulated cycle counts and therefore the bytes, and fails tier-1
+   loudly.
+
+   When a change is *meant* to move the numbers (a new cost parameter, a
+   semantic fix), refresh the goldens from the repo root with:
+
+     dune exec test/test_golden.exe -- --regen
+
+   and commit the updated test/golden/digests.txt together with the
+   change that explains it. *)
+
+let golden_paths = [ "golden/digests.txt"; "test/golden/digests.txt" ]
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let null_ppf =
+  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+(* The exact configuration of the committed goldens: quick sweep, two
+   worker domains (PR 3 guarantees byte-identity at any width; using two
+   exercises the pool), no checker (verdict fields would change the
+   artifact shape, and the checked configurations are covered by
+   @bench-smoke). *)
+let ctx = { Figures.quick = true; check = false; jobs = 2; ppf = null_ppf }
+
+let artifact_bytes target =
+  match Figures.run_target ctx target with
+  | Some out ->
+      (* Same bytes Json.to_file writes: pretty document + newline. *)
+      Harness.Json.to_string ~pretty:true out.Figures.json ^ "\n"
+  | None -> failwith ("unknown bench target " ^ target)
+
+let fuzz_bytes () =
+  let outcome = Fuzz.run_session { Fuzz.default with Fuzz.seed = 42 } in
+  if not outcome.Fuzz.passed then
+    failwith
+      ("golden fuzz session failed:\n"
+      ^ String.concat "\n" outcome.Fuzz.failures);
+  outcome.Fuzz.transcript
+
+let subjects =
+  [
+    ("BENCH_fig5.json", fun () -> artifact_bytes "fig5");
+    ("BENCH_fig9.json", fun () -> artifact_bytes "fig9");
+    ("BENCH_table2.json", fun () -> artifact_bytes "table2");
+    ("fuzz_seed42.transcript", fuzz_bytes);
+  ]
+
+let read_goldens () =
+  match List.find_opt Sys.file_exists golden_paths with
+  | None ->
+      Alcotest.failf "no golden digest file found (looked for %s)"
+        (String.concat ", " golden_paths)
+  | Some path ->
+      let ic = open_in path in
+      let entries = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then
+             match String.index_opt line ' ' with
+             | Some i ->
+                 entries :=
+                   ( String.sub line 0 i,
+                     String.trim
+                       (String.sub line (i + 1) (String.length line - i - 1))
+                   )
+                   :: !entries
+             | None -> failwith ("malformed golden line: " ^ line)
+         done
+       with End_of_file -> close_in ic);
+      List.rev !entries
+
+let regen () =
+  let path =
+    match List.find_opt Sys.file_exists golden_paths with
+    | Some p -> p
+    | None -> "test/golden/digests.txt"
+  in
+  let oc = open_out path in
+  output_string oc
+    "# MD5 digests of the golden artifacts (see test/test_golden.ml).\n\
+     # Refresh with: dune exec test/test_golden.exe -- --regen\n";
+  List.iter
+    (fun (name, make) ->
+      let d = digest (make ()) in
+      Printf.fprintf oc "%s %s\n" name d;
+      Printf.printf "%s %s\n" name d)
+    subjects;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let check_subject goldens (name, make) () =
+  match List.assoc_opt name goldens with
+  | None -> Alcotest.failf "no golden digest recorded for %s" name
+  | Some expected ->
+      let actual = digest (make ()) in
+      if actual <> expected then
+        Alcotest.failf
+          "%s drifted from the golden artifact:\n\
+          \  expected %s\n\
+          \  actual   %s\n\
+           The simulated numbers changed. If this is intentional, refresh \
+           with `dune exec test/test_golden.exe -- --regen` from the repo \
+           root and commit test/golden/digests.txt; otherwise the change \
+           altered the cost model or operation semantics."
+          name expected actual
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--regen" then regen ()
+  else
+    let goldens = read_goldens () in
+    Alcotest.run "golden"
+      [
+        ( "byte-identity",
+          List.map
+            (fun subject ->
+              Alcotest.test_case (fst subject) `Slow
+                (check_subject goldens subject))
+            subjects );
+      ]

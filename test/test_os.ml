@@ -211,6 +211,95 @@ let test_mprotect_via_syscall () =
   Alcotest.(check (option int)) "data intact and readable" (Some 5)
     (K.load k c p ~vpn:1)
 
+(* Both protections ({!Vm.Vm_types.prot} has no execute bit) across
+   mapped, partially mapped, and unmapped ranges. Any in-space range is
+   Ok — like the real call, mprotect rewrites whatever mappings the range
+   contains and ignores the holes — while a range reaching outside the
+   address space (or an empty one) is EINVAL and changes nothing. *)
+let test_mprotect_matrix () =
+  let m, k = boot () in
+  let c = Machine.core m 0 in
+  let p = check_ok "fork" (K.sys_fork k c (K.init_process k)) in
+  let space = Vm.Radixvm.Default.address_space_pages (K.vm p) in
+  ignore (check_ok "mmap" (K.sys_mmap k c p ~vpn:0 ~npages:4 ()));
+  ignore (K.store k c p ~vpn:1 5);
+  List.iter
+    (fun prot ->
+      let writable = prot = Vm.Vm_types.Read_write in
+      (* fully mapped *)
+      ignore
+        (check_ok "mapped" (K.sys_mprotect k c p ~vpn:0 ~npages:4 prot));
+      Alcotest.check result_t
+        (if writable then "write allowed" else "write refused")
+        (if writable then Vm.Vm_types.Ok else Vm.Vm_types.Segfault)
+        (K.store k c p ~vpn:1 6);
+      Alcotest.(check bool) "readable either way" true
+        (K.load k c p ~vpn:1 <> None);
+      (* partially mapped: pages 4..7 are holes; the mapped half takes the
+         new protection, the holes stay segfaulting *)
+      ignore
+        (check_ok "partial" (K.sys_mprotect k c p ~vpn:2 ~npages:6 prot));
+      Alcotest.check result_t "mapped half follows prot"
+        (if writable then Vm.Vm_types.Ok else Vm.Vm_types.Segfault)
+        (K.store k c p ~vpn:3 7);
+      Alcotest.check result_t "hole still unmapped" Vm.Vm_types.Segfault
+        (K.store k c p ~vpn:5 7);
+      (* fully unmapped: a no-op, not an error *)
+      ignore
+        (check_ok "unmapped" (K.sys_mprotect k c p ~vpn:16 ~npages:4 prot));
+      Alcotest.(check (option int)) "still unmapped" None
+        (K.load k c p ~vpn:17);
+      (* invalid ranges: EINVAL, nothing happened *)
+      List.iter
+        (fun (name, vpn, npages) ->
+          Alcotest.(check bool) name true
+            (K.sys_mprotect k c p ~vpn ~npages prot = Error K.EINVAL))
+        [
+          ("zero pages", 0, 0);
+          ("negative vpn", -1, 2);
+          ("beyond space", space - 1, 2);
+        ])
+    [ Vm.Vm_types.Read_only; Vm.Vm_types.Read_write ];
+  (* back to writable for a final sanity write *)
+  ignore (check_ok "restore" (K.sys_mprotect k c p ~vpn:0 ~npages:4 Vm.Vm_types.Read_write));
+  Alcotest.check result_t "writable again" Vm.Vm_types.Ok (K.store k c p ~vpn:1 8)
+
+(* An injected abort at mprotect's only abort point ("locked", before the
+   first metadata rewrite) must surface as EFAULT at the syscall boundary
+   and leave the mapping byte-for-byte as it was: same protection, same
+   contents, same frame count, no leaked range locks — the same contract
+   test_fault.ml asserts for munmap's mid-operation abort. *)
+let test_mprotect_abort_rolls_back () =
+  let m, k = boot () in
+  let chk = Check.attach m in
+  let plan = Fault.create ~seed:0 () in
+  Machine.set_fault m (Some plan);
+  let c = Machine.core m 0 in
+  let p = check_ok "fork" (K.sys_fork k c (K.init_process k)) in
+  ignore (check_ok "mmap" (K.sys_mmap k c p ~vpn:0 ~npages:4 ()));
+  Alcotest.check result_t "seed write" Vm.Vm_types.Ok (K.store k c p ~vpn:1 5);
+  let frames_before = live m in
+  Fault.abort_ops plan ~op:"mprotect" ~point:"locked" ~prob:1.0 ();
+  Alcotest.(check bool) "aborted mprotect is EFAULT" true
+    (K.sys_mprotect k c p ~vpn:0 ~npages:4 Vm.Vm_types.Read_only
+    = Error K.EFAULT);
+  (* The failed downgrade must be a perfect no-op: still writable. *)
+  Alcotest.check result_t "still writable" Vm.Vm_types.Ok
+    (K.store k c p ~vpn:1 6);
+  Alcotest.(check (option int)) "contents survived" (Some 6)
+    (K.load k c p ~vpn:1);
+  Alcotest.(check int) "no frames leaked or dropped" frames_before (live m);
+  Alcotest.(check int) "range locks released" 0
+    (List.length (Check.leaked_locks chk));
+  (* With the plan detached the same downgrade goes through. *)
+  Machine.set_fault m None;
+  ignore
+    (check_ok "mprotect after detach"
+       (K.sys_mprotect k c p ~vpn:0 ~npages:4 Vm.Vm_types.Read_only));
+  Alcotest.check result_t "downgrade effective" Vm.Vm_types.Segfault
+    (K.store k c p ~vpn:1 7);
+  Check.detach chk
+
 let process_lifecycle_property =
   QCheck.Test.make ~name:"random process lifecycles leak no frames" ~count:40
     QCheck.(
@@ -297,6 +386,9 @@ let () =
           tc "fork cow via syscalls" `Quick test_fork_cow_through_syscalls;
           tc "frames reclaimed at exit" `Quick test_all_frames_reclaimed_at_exit;
           tc "mprotect" `Quick test_mprotect_via_syscall;
+          tc "mprotect matrix" `Quick test_mprotect_matrix;
+          tc "mprotect abort rolls back" `Quick
+            test_mprotect_abort_rolls_back;
         ] );
       ("validation", [ tc "errno paths" `Quick test_syscall_validation ]);
       ("property", [ QCheck_alcotest.to_alcotest process_lifecycle_property ]);
