@@ -154,7 +154,14 @@ let union_into ~dst src =
     dst.words.(w) <- dst.words.(w) lor src.words.(w)
   done
 
-let equal a b = a.n = b.n && a.words = b.words
+let equal a b =
+  a.n = b.n
+  &&
+  let rec words_eq i =
+    i >= Array.length a.words
+    || (a.words.(i) = b.words.(i) && words_eq (i + 1))
+  in
+  words_eq 0
 
 let pp ppf t =
   Format.fprintf ppf "{%a}"

@@ -8,7 +8,7 @@ type t = {
   fseed : int;
   rng : Random.State.t;
   mutable budget : int option;
-  ipi : (int, ipi_response) Hashtbl.t;
+  ipi : ipi_response Int_table.t;  (* core -> response; absent = Prompt *)
   mutable lock_rules : (string * float) list;  (* label -> probability *)
   mutable abort_rules : abort_rule list;
   mutable suppress : int;  (* re-entrant suppression depth *)
@@ -25,7 +25,7 @@ let create ?(seed = 0) () =
     fseed = seed;
     rng = Random.State.make [| 0xfa_017; seed |];
     budget = None;
-    ipi = Hashtbl.create 8;
+    ipi = Int_table.create ~size_hint:8 Prompt;
     lock_rules = [];
     abort_rules = [];
     suppress = 0;
@@ -52,15 +52,12 @@ let frame_budget t = t.budget
 
 let delay_ipi t ~core ~cycles =
   if cycles < 0 then invalid_arg "Fault.delay_ipi";
-  Hashtbl.replace t.ipi core (Delayed cycles)
+  Int_table.set t.ipi core (Delayed cycles)
 
-let stall_ipi t ~core = Hashtbl.replace t.ipi core Stalled
-let clear_ipi t ~core = Hashtbl.remove t.ipi core
-
-let ipi_response t ~core =
-  match Hashtbl.find_opt t.ipi core with Some r -> r | None -> Prompt
-
-let ipi_faults_active t = Hashtbl.length t.ipi > 0
+let stall_ipi t ~core = Int_table.set t.ipi core Stalled
+let clear_ipi t ~core = Int_table.remove t.ipi core
+let ipi_response t ~core = Int_table.find_default t.ipi core Prompt
+let ipi_faults_active t = Int_table.length t.ipi > 0
 
 let check_prob ~fn p =
   if not (p >= 0.0 && p <= 1.0) then invalid_arg ("Fault." ^ fn)
@@ -131,7 +128,7 @@ let pp ppf t =
   Format.fprintf ppf
     "fault<seed=%d budget=%s ipi=%d locks=%d aborts=%d | oom=%d abort=%d \
      lk-timeout=%d ipi-delay=%d abandoned=%d>"
-    t.fseed budget (Hashtbl.length t.ipi)
+    t.fseed budget (Int_table.length t.ipi)
     (List.length t.lock_rules)
     (List.length t.abort_rules)
     t.n_oom t.n_aborts t.n_lock_timeouts t.n_ipi_delays t.n_ipi_abandoned

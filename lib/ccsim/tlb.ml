@@ -185,14 +185,14 @@ let rec evict_one t =
    stays O(1) amortized. *)
 let compact t =
   if t.len > 2 * t.capacity then begin
-    let seen = Hashtbl.create (2 * t.live) in
+    let seen = Int_table.create ~size_hint:(2 * t.live) false in
     let keep = Array.make t.len (-1) in
     let kept = ref 0 in
     let cap = Array.length t.ring in
     for k = 0 to t.len - 1 do
       let vpn = t.ring.((t.head + k) land (cap - 1)) in
-      if find_slot t vpn >= 0 && not (Hashtbl.mem seen vpn) then begin
-        Hashtbl.add seen vpn ();
+      if find_slot t vpn >= 0 && not (Int_table.mem seen vpn) then begin
+        Int_table.set seen vpn true;
         keep.(!kept) <- vpn;
         incr kept
       end

@@ -401,7 +401,7 @@ let note_release t ~core ~lock ~line ~label =
   let dropped = ref None in
   let rec drop = function
     | [] -> []  (* release without acquire: tolerated (attached mid-run) *)
-    | h :: rest when h.hl_lock = lock && !dropped = None ->
+    | h :: rest when h.hl_lock = lock && Option.is_none !dropped ->
         dropped := Some h;
         rest
     | h :: rest -> h :: drop rest
@@ -663,63 +663,68 @@ let census t =
    least two locks contains a cycle, which we recover with a DFS restricted
    to that SCC so the report can show each edge's acquisition context. *)
 let cycles t =
-  let adj = Hashtbl.create 64 in
+  let adj = Int_table.create ~size_hint:64 [] in
   Int_table.iter
     (fun _ e ->
-      Hashtbl.replace adj e.e_from
-        (e :: (match Hashtbl.find_opt adj e.e_from with Some l -> l | None -> [])))
+      Int_table.set adj e.e_from (e :: Int_table.find_default adj e.e_from []))
     t.edges;
-  let index = Hashtbl.create 64 in
-  let lowlink = Hashtbl.create 64 in
-  let on_stack = Hashtbl.create 64 in
+  let index = Int_table.create ~size_hint:64 (-1) in
+  let lowlink = Int_table.create ~size_hint:64 (-1) in
+  let on_stack = Int_table.create ~size_hint:64 false in
   let stack = ref [] in
   let counter = ref 0 in
   let sccs = ref [] in
   let rec strongconnect v =
-    Hashtbl.replace index v !counter;
-    Hashtbl.replace lowlink v !counter;
+    Int_table.set index v !counter;
+    Int_table.set lowlink v !counter;
     incr counter;
     stack := v :: !stack;
-    Hashtbl.replace on_stack v ();
+    Int_table.set on_stack v true;
     List.iter
       (fun e ->
         let w = e.e_to in
-        if not (Hashtbl.mem index w) then begin
+        if not (Int_table.mem index w) then begin
           strongconnect w;
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+          Int_table.set lowlink v
+            (min
+               (Int_table.find_default lowlink v max_int)
+               (Int_table.find_default lowlink w max_int))
         end
-        else if Hashtbl.mem on_stack w then
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
-      (match Hashtbl.find_opt adj v with Some l -> l | None -> []);
-    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+        else if Int_table.mem on_stack w then
+          Int_table.set lowlink v
+            (min
+               (Int_table.find_default lowlink v max_int)
+               (Int_table.find_default index w max_int)))
+      (Int_table.find_default adj v []);
+    if Int_table.find_default lowlink v (-1) = Int_table.find_default index v (-2)
+    then begin
       let rec pop acc =
         match !stack with
         | [] -> acc
         | w :: rest ->
             stack := rest;
-            Hashtbl.remove on_stack w;
+            Int_table.remove on_stack w;
             if w = v then w :: acc else pop (w :: acc)
       in
       let scc = pop [] in
       if List.length scc >= 2 then sccs := scc :: !sccs
     end
   in
-  Hashtbl.iter (fun v _ -> if not (Hashtbl.mem index v) then strongconnect v) adj;
+  Int_table.iter
+    (fun v _ -> if not (Int_table.mem index v) then strongconnect v)
+    adj;
   (* One representative cycle per SCC. *)
   List.filter_map
     (fun scc ->
       let inside = List.fold_left (fun s v -> IS.add v s) IS.empty scc in
       let start = List.hd scc in
       let rec walk v path visited =
-        let outs =
-          match Hashtbl.find_opt adj v with Some l -> l | None -> []
-        in
+        let outs = Int_table.find_default adj v [] in
         let outs = List.filter (fun e -> IS.mem e.e_to inside) outs in
         let closing = List.find_opt (fun e -> e.e_to = start) outs in
         match closing with
-        | Some e when path <> [] || e.e_from <> start ->
+        | Some e
+          when (match path with [] -> e.e_from <> start | _ :: _ -> true) ->
             Some (List.rev (e :: path))
         | _ ->
             List.fold_left
@@ -735,9 +740,12 @@ let cycles t =
     !sccs
 
 let ok ?allow t =
-  races t = [] && cycles t = [] && tlb_violations t = []
-  && rc_violations t = [] && leaked_locks t = []
-  && multi_writer_lines ?allow t = []
+  List.is_empty (races t)
+  && List.is_empty (cycles t)
+  && List.is_empty (tlb_violations t)
+  && List.is_empty (rc_violations t)
+  && List.is_empty (leaked_locks t)
+  && List.is_empty (multi_writer_lines ?allow t)
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -846,8 +854,8 @@ let report ?allow ppf t =
   section "multi-writer lines outside allowlist" pp_line_info mw;
   Format.fprintf ppf "@,verdict: %s@]"
     (if
-       races = [] && cycles = [] && tlbv = [] && rcv = [] && leaked = []
-       && mw = []
+       List.is_empty races && List.is_empty cycles && List.is_empty tlbv
+       && List.is_empty rcv && List.is_empty leaked && List.is_empty mw
      then "PASS"
      else "FAIL")
 

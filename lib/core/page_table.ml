@@ -126,11 +126,11 @@ let entries t =
 let pt_pages t =
   Array.fold_left
     (fun acc map ->
-      let leaves = Hashtbl.create 64 in
+      let leaves = Int_table.create ~size_hint:64 false in
       Int_table.iter
-        (fun vpn _ -> Hashtbl.replace leaves (vpn / Vm_types.ptes_per_page) ())
+        (fun vpn _ -> Int_table.set leaves (vpn / Vm_types.ptes_per_page) true)
         map;
-      acc + Hashtbl.length leaves)
+      acc + Int_table.length leaves)
     0 t.maps
 
 let bytes t = pt_pages t * Vm_types.page_size

@@ -108,7 +108,8 @@ module Make (C : Refcnt.Counter_intf.S) = struct
       in
       (* Local invalidation is a few instructions. *)
       Core.tick core core.Core.params.Params.op_cost;
-      if remote <> [] then Ipi.multicast t.machine core ~targets:remote
+      if not (List.is_empty remote) then
+        Ipi.multicast t.machine core ~targets:remote
     end
 
   (* Unmap bookkeeping shared by munmap and map-over: with the range still
@@ -267,7 +268,7 @@ module Make (C : Refcnt.Counter_intf.S) = struct
       let targets = Bitset.create (Machine.ncores t.machine) in
       let any_frames = ref false in
       Radix.update_range t.tree core lk ~f:(fun m ->
-          if m.frame <> None then begin
+          if Option.is_some m.frame then begin
             any_frames := true;
             Bitset.union_into ~dst:targets m.tlb_cores
           end;
@@ -453,12 +454,11 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     let targets = Bitset.create (Machine.ncores t.machine) in
     (* Demote the parent's writable anonymous pages to COW. *)
     Radix.update_range t.tree core lk ~f:(fun m ->
-        (match m.frame with
-        | Some _ when m.backing = Vm_types.Anon && m.prot = Vm_types.Read_write
-          ->
+        (match (m.frame, m.backing, m.prot) with
+        | Some _, Vm_types.Anon, Vm_types.Read_write ->
             Bitset.union_into ~dst:targets m.tlb_cores;
             m.cow <- true
-        | Some _ | None -> ());
+        | _ -> ());
         m);
     (* Build the child's mappings page by page. *)
     ignore
@@ -521,7 +521,7 @@ module Make (C : Refcnt.Counter_intf.S) = struct
         if not (rollback_broken core) then Radix.unlock_range t.tree core lk;
         raise e
 
-  let mapped t ~vpn = Radix.peek t.tree vpn <> None
+  let mapped t ~vpn = Option.is_some (Radix.peek t.tree vpn)
 
   (* ---------------------------------------------------------------- *)
   (* Typed-failure entry points: the same operations with the two
@@ -562,7 +562,7 @@ module Make (C : Refcnt.Counter_intf.S) = struct
   let index_bytes t =
     let private_records =
       Radix.fold_mapped t.tree ~init:0 ~f:(fun acc _vpn m ->
-          if m.frame <> None then acc + 1 else acc)
+          if Option.is_some m.frame then acc + 1 else acc)
     in
     Radix.approx_bytes t.tree + (meta_bytes * private_records)
 
@@ -582,7 +582,11 @@ module Make (C : Refcnt.Counter_intf.S) = struct
        page's TLB core set, and no writable translation may survive for a
        read-only or COW page (per-core MMU only — shared page tables don't
        track usage). *)
-    if Mmu.kind t.mmu = Page_table.Per_core then
+    if
+      match Mmu.kind t.mmu with
+      | Page_table.Per_core -> true
+      | Page_table.Shared | Page_table.Grouped _ -> false
+    then
       ignore
         (Radix.fold_mapped t.tree ~init:() ~f:(fun () vpn m ->
              match m.frame with

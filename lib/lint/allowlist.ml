@@ -1,0 +1,116 @@
+type entry = {
+  a_rule : Finding.rule;
+  a_site : string;
+  a_reason : string;
+  a_line : int;
+  mutable a_used : bool;
+}
+
+type t = { file : string; entries : entry list }
+
+let empty = { file = "<none>"; entries = [] }
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(* One entry per line: [rule-id:Module.path # reason]. Blank lines and
+   lines starting with [#] are comments. The reason is mandatory — a
+   suppression nobody can explain is a suppression nobody can retire. *)
+let parse_line ~file ~line_no line =
+  let line = String.trim line in
+  if String.equal line "" || line.[0] = '#' then Ok None
+  else
+    let malformed msg =
+      Error
+        (Finding.v ~rule:Finding.Allow_malformed ~file ~line:line_no
+           ~site:line msg)
+    in
+    match String.index_opt line '#' with
+    | None -> malformed "missing '# reason' — every suppression needs one"
+    | Some h -> (
+        let head = String.trim (String.sub line 0 h) in
+        let reason =
+          String.trim (String.sub line (h + 1) (String.length line - h - 1))
+        in
+        if String.equal reason "" then
+          malformed "empty reason after '#'"
+        else
+          match String.index_opt head ':' with
+          | None -> malformed "expected 'rule-id:Module.path # reason'"
+          | Some c -> (
+              let rid = String.trim (String.sub head 0 c) in
+              let site =
+                String.trim (String.sub head (c + 1) (String.length head - c - 1))
+              in
+              match Finding.rule_of_id rid with
+              | None -> malformed (Printf.sprintf "unknown rule id %S" rid)
+              | Some rule ->
+                  if not (Finding.suppressible rule) then
+                    malformed
+                      (Printf.sprintf "rule %s cannot be allowlisted" rid)
+                  else if String.equal site "" then
+                    malformed "empty module path before '#'"
+                  else
+                    Ok
+                      (Some
+                         {
+                           a_rule = rule;
+                           a_site = site;
+                           a_reason = reason;
+                           a_line = line_no;
+                           a_used = false;
+                         })))
+
+let parse_string ~file contents =
+  let entries = ref [] and bad = ref [] in
+  List.iteri
+    (fun i line ->
+      match parse_line ~file ~line_no:(i + 1) line with
+      | Ok None -> ()
+      | Ok (Some e) -> entries := e :: !entries
+      | Error f -> bad := f :: !bad)
+    (String.split_on_char '\n' contents);
+  ({ file; entries = List.rev !entries }, List.rev !bad)
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  parse_string ~file:path contents
+
+(* An entry suppresses a finding when the rule matches and the entry's
+   site is the finding's site or an enclosing prefix of it:
+   [hot-hashtbl:Check.census] covers [Check.census] and
+   [Check.census.bump], and a bare [Module] covers the whole module. *)
+let matches e (f : Finding.t) =
+  e.a_rule = f.rule
+  && (String.equal e.a_site f.site || starts_with ~prefix:(e.a_site ^ ".") f.site)
+
+let apply t findings =
+  let kept =
+    List.filter
+      (fun f ->
+        match List.find_opt (fun e -> matches e f) t.entries with
+        | Some e ->
+            e.a_used <- true;
+            false
+        | None -> true)
+      findings
+  in
+  let stale =
+    List.filter_map
+      (fun e ->
+        if e.a_used then None
+        else
+          Some
+            (Finding.v ~rule:Finding.Allow_stale ~file:t.file ~line:e.a_line
+               ~site:e.a_site
+               (Printf.sprintf
+                  "stale allowlist entry '%s:%s' matches no finding — delete \
+                   it (the site was fixed or renamed)"
+                  (Finding.rule_id e.a_rule) e.a_site)))
+      t.entries
+  in
+  kept @ stale

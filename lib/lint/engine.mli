@@ -1,0 +1,39 @@
+(** The typed-AST analysis over dune's [.cmt] output.
+
+    A [config] decides, per cmt path, which rule families apply
+    ({!scope}) and which directories the cmt walk skips; {!repo_config}
+    encodes this repository's policy (hot = ccsim/check/refcache/core,
+    artifact-reaching = harness/fuzz/bench/bin, float emitter =
+    [Harness.Json], fixtures skipped). *)
+
+type scope = {
+  hot : bool;  (** hot-path hygiene: no stdlib Hashtbl, no polymorphic
+                   compare at non-immediate types, no Marshal *)
+  artifact : bool;
+      (** output can reach an artifact or transcript: no Hashtbl
+          iteration order, no float formatting *)
+  float_emitter : bool;
+      (** the deterministic float emitter itself (exempt from
+          [det-float-format]) *)
+  toplevel_state : bool;  (** [ds-toplevel-mutable] applies *)
+}
+
+type config = {
+  classify : string -> scope;  (** from a cmt path *)
+  skip_dir : string -> bool;  (** directory basenames to skip *)
+}
+
+val repo_config : config
+
+val scan_cmt : config -> string -> Finding.t list
+(** Findings for one [.cmt] file (unsorted). Interface-only and partial
+    cmts yield []. Raises if the file is not a cmt. *)
+
+val find_cmts : config -> string list -> string list
+(** All [.cmt] files under the given roots, sorted; nonexistent roots are
+    ignored. *)
+
+val run : config -> allow:Allowlist.t -> roots:string list -> Finding.t list
+(** Scan every cmt under [roots], apply the allowlist (suppressions plus
+    stale-entry errors), and return findings in {!Finding.compare}
+    order. *)

@@ -1,0 +1,9 @@
+(* det-entropy: ambient nondeterminism sources. Every call below must be
+   flagged. *)
+
+let seed_the_world () = Random.self_init ()
+let state = Random.State.make_self_init
+let cpu_now () = Sys.time ()
+let wall_now () = Unix.gettimeofday ()
+let coarse_now () = Unix.time ()
+let jitter () = int_of_float (cpu_now () +. wall_now () +. coarse_now ())

@@ -1,0 +1,20 @@
+(* ds-toplevel-mutable: module-level mutable state that domains would
+   race on. Each binding below must be flagged; the Atomic.t must not. *)
+
+let counter = ref 0
+
+type cfg = { mutable level : int; name : string }
+
+let cfg = { level = 0; name = "fixture" }
+let cache : (int, string) Hashtbl.t = Hashtbl.create 16
+let scratch = Buffer.create 64
+let deep = (0, ref 0)
+
+(* Fine: atomics are the sanctioned form of shared module state. *)
+let hits = Atomic.make 0
+
+(* Fine: functions and immutable data. *)
+let bump () =
+  incr counter;
+  Atomic.incr hits;
+  cfg.level <- Buffer.length scratch + Hashtbl.length cache + !(snd deep)

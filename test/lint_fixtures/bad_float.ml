@@ -1,0 +1,8 @@
+(* det-float-format: float rendering outside Harness.Json's deterministic
+   emitter. Each conversion below must be flagged. *)
+
+let render x = Printf.sprintf "%.3f" x
+let wide x = Printf.sprintf "%12.6e" x
+let general x = Format.asprintf "%g" x
+let stringly x = string_of_float x
+let stdlibly x = Float.to_string x

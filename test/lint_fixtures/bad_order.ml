@@ -1,0 +1,12 @@
+(* det-hashtbl-order: Hashtbl iteration in bucket order escaping to an
+   observer. Each iter/fold/to_seq below must be flagged. *)
+
+let dump out (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.iter (fun k v -> out (string_of_int k ^ "=" ^ v)) tbl
+
+let keys (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let stream (tbl : (int, string) Hashtbl.t) = Hashtbl.to_seq tbl
+let key_stream (tbl : (int, string) Hashtbl.t) = Hashtbl.to_seq_keys tbl
+let val_stream (tbl : (int, string) Hashtbl.t) = Hashtbl.to_seq_values tbl

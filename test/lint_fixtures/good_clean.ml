@@ -1,0 +1,12 @@
+(* The control: ordinary immutable code that must produce zero findings
+   even under --all-scopes. *)
+
+let add a b = a + b
+let greet name = "hello, " ^ name
+let total xs = List.fold_left ( + ) 0 xs
+let evens xs = List.filter (fun x -> x mod 2 = 0) xs
+
+type point = { x : int; y : int }
+
+let origin = { x = 0; y = 0 }
+let manhattan p = abs p.x + abs p.y
