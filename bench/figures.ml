@@ -14,6 +14,7 @@ module Radixvm = Vm.Radixvm.Default
 module MB_radix = Workloads.Microbench.Make (Vm.Radixvm.Default)
 module MB_linux = Workloads.Microbench.Make (Baselines.Linux_vm)
 module MB_bonsai = Workloads.Microbench.Make (Baselines.Bonsai_vm)
+module RL_bigmap = Workloads.Rangelock_bench.Make (Vm.Radixvm.Default)
 module Metis_radix = Workloads.Metis.Make (Vm.Radixvm.Default)
 module Metis_linux = Workloads.Metis.Make (Baselines.Linux_vm)
 module Metis_bonsai = Workloads.Metis.Make (Baselines.Bonsai_vm)
@@ -558,6 +559,126 @@ let fig9 ctx =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Range-lock crossover: backends x operation mixes                    *)
+
+(* The four points in the backend space the crossover figure compares.
+   Partitioning is a variant of the embedded backend, not a separate
+   backend, so it appears here as "radix-part64" (split folds wider than
+   64 pages instead of propagating locks into them). *)
+let rangelock_variants =
+  [
+    ("radix", Locks.Range_lock.Radix_embedded, None);
+    ("radix-part64", Locks.Range_lock.Radix_embedded, Some 64);
+    ("list", Locks.Range_lock.List_based, None);
+    ("global", Locks.Range_lock.Global, None);
+  ]
+
+let rangelock_mixes = [ "disjoint"; "bigmap" ]
+
+(* Two operation mixes bracket the design space: "disjoint" is the
+   Figure 5 local benchmark (per-core private regions — the embedded
+   backend's best case, pure per-slot locality), "bigmap" is the fault
+   storm on one freshly-folded huge mapping (its worst case — the first
+   fault's expansion propagates the lock to every new slot, which is
+   exactly what the partition variant avoids and what the external
+   backends never do). Where the curves cross is the figure. *)
+let rangelock ctx =
+  let jobs =
+    List.concat_map
+      (fun mix ->
+        List.concat_map
+          (fun (vname, kind, partition) ->
+            List.map
+              (fun n ->
+                let name =
+                  Printf.sprintf "rangelock %s %s %d cores" vname mix n
+                in
+                Pool.job ~name (fun () ->
+                    let make m =
+                      Radixvm.create_with ~rangelock:kind ?partition m
+                    in
+                    let run =
+                      match mix with
+                      | "disjoint" ->
+                          fun ~on_machine ~on_measure ->
+                            MB_radix.local ~warmup:(micro_warmup ctx n)
+                              ~on_machine ~on_measure ~ncores:n
+                              ~duration:(micro_duration ctx) make
+                      | "bigmap" ->
+                          let d = global_duration ctx n in
+                          fun ~on_machine ~on_measure ->
+                            RL_bigmap.bigmap ~warmup:d ~on_machine ~on_measure
+                              ~ncores:n ~duration:d make
+                      | other -> failwith ("unknown rangelock mix " ^ other)
+                    in
+                    (* External backends share their lock lines and walk
+                       the tree lock-free under range protection — admit
+                       exactly those labels (Range_lock.labels), nothing
+                       more. Zero sharing is claimed where the paper
+                       claims it: the embedded backend on the disjoint
+                       mix. *)
+                    let rl = Locks.Range_lock.labels kind in
+                    let result, verdict =
+                      checked ~ctx ~name
+                        ~allow:(Check.radixvm_allow @ rl)
+                        ~race_allow:("radix:slot" :: rl)
+                        ~zero_sharing:
+                          (mix = "disjoint"
+                          && kind = Locks.Range_lock.Radix_embedded)
+                        run
+                    in
+                    ((mix, vname, n, result), verdict)))
+              (core_counts ctx))
+          rangelock_variants)
+      rangelock_mixes
+  in
+  let rows = Pool.run ~jobs:ctx.jobs jobs in
+  header ctx "Range-lock crossover: backend x mix (page writes/sec)";
+  List.iter
+    (fun mix ->
+      Format.fprintf ctx.ppf "\n-- %s (total page writes/sec) --\n" mix;
+      row_header ctx "cores" (List.map string_of_int (core_counts ctx));
+      List.iter
+        (fun (vname, _, _) ->
+          let cells =
+            List.filter_map
+              (fun ((m, v, _, r), _) ->
+                if m = mix && v = vname then
+                  Some (k r.Workloads.Microbench.writes_per_sec)
+                else None)
+              rows
+          in
+          row ctx vname cells)
+        rangelock_variants)
+    rangelock_mixes;
+  let checks = checks_of_rows rows in
+  report_checks ctx checks;
+  {
+    json =
+      Json.List
+        (List.map
+           (fun ((mix, vname, n, (r : Workloads.Microbench.result)), v) ->
+             Json.Obj
+               ([
+                  ("backend", Json.String vname);
+                  ("mix", Json.String mix);
+                  ("cores", Json.Int n);
+                  ("writes_per_sec", Json.Float r.writes_per_sec);
+                  ("page_writes", Json.Int r.page_writes);
+                  ("cycles", Json.Int r.cycles);
+                  ("ipis", Json.Int r.ipis);
+                  ("shootdowns", Json.Int r.shootdown_events);
+                  ("transfers", Json.Int r.transfers);
+                  ("lock_wait", Json.Int r.lock_wait);
+                  ("shootdown_wait", Json.Int r.shootdown_wait);
+                  ("line_stall", Json.Int r.line_stall);
+                ]
+               @ check_fields v))
+           rows);
+    checks;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Table 2: memory overhead                                            *)
 
 let table2 ctx =
@@ -711,12 +832,16 @@ let fig_index ctx ~title ~structure ~writer_counts run =
 let fig6 ctx =
   fig_index ctx
     ~title:"Figure 6: skip list lookups under concurrent inserts/deletes"
-    ~structure:"skiplist" ~writer_counts:[ 0; 1; 5 ] Workloads.Index_bench.skiplist
+    ~structure:"skiplist" ~writer_counts:[ 0; 1; 5 ]
+    (fun ~readers ~writers ~duration ->
+      Workloads.Index_bench.skiplist ~readers ~writers ~duration ())
 
 let fig7 ctx =
   fig_index ctx
     ~title:"Figure 7: radix tree lookups under concurrent inserts/deletes"
-    ~structure:"radix" ~writer_counts:[ 0; 10; 40 ] Workloads.Index_bench.radix
+    ~structure:"radix" ~writer_counts:[ 0; 10; 40 ]
+    (fun ~readers ~writers ~duration ->
+      Workloads.Index_bench.radix ~readers ~writers ~duration ())
 
 (* ------------------------------------------------------------------ *)
 (* Figure 8: reference counting schemes                                *)
@@ -1098,6 +1223,7 @@ let targets =
     ("fig8", fig8);
     ("fig9", fig9);
     ("ablations", ablations);
+    ("rangelock", rangelock);
     ("wallclock", wallclock);
   ]
 

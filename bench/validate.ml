@@ -8,13 +8,29 @@ module Json = Harness.Json
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
+(* Artifacts with a known row schema get field-level checks on top of the
+   generic shape check; the crossover figure's rows must carry the sweep
+   coordinates (backend, mix, cores) and the metric every consumer plots
+   (writes_per_sec). *)
+let required_fields path =
+  match Filename.basename path with
+  | "BENCH_rangelock.json" ->
+      [ "backend"; "mix"; "cores"; "writes_per_sec" ]
+  | _ -> []
+
 let require_rows path = function
   | Json.List [] -> fail "%s: empty rows array" path
   | Json.List rows ->
+      let fields = required_fields path in
       List.iteri
         (fun i row ->
           match row with
-          | Json.Obj (_ :: _) -> ()
+          | Json.Obj (_ :: _) ->
+              List.iter
+                (fun f ->
+                  if Json.member f row = None then
+                    fail "%s: row %d missing field %S" path i f)
+                fields
           | _ -> fail "%s: row %d is not a non-empty object" path i)
         rows
   | Json.Obj (_ :: _) -> ()  (* scalar-shaped artifacts (pt-overhead, ablations) *)

@@ -70,22 +70,71 @@ let check_arg =
   in
   Arg.(value & flag & info [ "check" ] ~doc)
 
+let debug_stats_arg =
+  let doc =
+    "Dump the machine's raw stat counters to stderr when each run \
+     finishes (replaces the old RADIXVM_DEBUG environment variable)."
+  in
+  Arg.(value & flag & info [ "debug-stats" ] ~doc)
+
+let rangelock_conv =
+  let parse s =
+    match Locks.Range_lock.of_string s with
+    | Ok k -> Ok k
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun ppf k -> Format.pp_print_string ppf (Locks.Range_lock.name k))
+
+let rangelock_arg =
+  Arg.(
+    value
+    & opt rangelock_conv Locks.Range_lock.Radix_embedded
+    & info [ "rangelock" ]
+        ~doc:
+          "Range-lock backend for radixvm address spaces: $(b,radix) (the \
+           paper's embedded slot locks, default), $(b,list) (ordered list \
+           of locked ranges), or $(b,global) (one whole-address-space \
+           lock). Ignored by the linux/bonsai baselines.")
+
+let partition_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "partition" ]
+        ~doc:
+          "Embedded-backend fold partitioning threshold in pages \
+           (DragonFly's trick): folds wider than this are split before \
+           locking when only partially covered. Off by default.")
+
 (* The checker attaches when the machine is built and opens its sharing
    window at the warmup/measure boundary, exactly where [Stats.reset]
    runs; for RadixVM the zero-sharing verdict uses the documented
    allowlist, baselines are reported raw. Pooled jobs must not print, so
    the report is rendered to a string inside the job and printed by the
    collector in sweep order. *)
-let render_report vm chk =
+let render_report ?(rangelock = Locks.Range_lock.Radix_embedded) vm chk =
   match !chk with
   | None -> ""
   | Some c ->
-      let allow =
-        match vm with
-        | "radixvm" | "radixvm-shared" -> Check.radixvm_allow
-        | _ -> []
+      (* External range-lock backends introduce shared lines by design
+         (the list backend's ordered list, the global backend's one lock)
+         and walk the tree lock-free under range protection, which the
+         line-granular lockset analysis cannot express — admit exactly
+         those labels so the verdict still flags anything unexpected. *)
+      let rl = Locks.Range_lock.labels rangelock in
+      let rl_races =
+        if rl = [] then [] else "radix:slot" :: "radix:node" :: rl
       in
-      let s = Format.asprintf "%a@." (Check.report ~allow) c in
+      let allow =
+        (match vm with
+        | "radixvm" | "radixvm-shared" -> Check.radixvm_allow
+        | _ -> [])
+        @ rl
+      in
+      let s =
+        Format.asprintf "%a@." (Check.report ~allow ~race_allow:rl_races) c
+      in
       Check.detach c;
       s
 
@@ -103,7 +152,7 @@ let sweep ~name ~jobs ~cores ~pp rows =
 
 (* ---- micro ---- *)
 
-let micro bench vm cores jobs duration check =
+let micro bench vm cores jobs duration check rangelock partition debug =
   let cores = parse_cores cores in
   let run_one n =
     let chk = ref None in
@@ -119,41 +168,44 @@ let micro bench vm cores jobs duration check =
     let result =
       match vm with
       | "radixvm" ->
+          let make m = Radixvm.create_with ~rangelock ?partition m in
           pick
             (fun ~on_machine ~on_measure ~ncores ~duration ->
-              MB_radix.local ~on_machine ~on_measure ~ncores ~duration Radixvm.create)
+              MB_radix.local ~on_machine ~on_measure ~debug ~ncores ~duration make)
             (fun ~on_machine ~on_measure ~ncores ~duration ->
-              MB_radix.pipeline ~on_machine ~on_measure ~ncores ~duration Radixvm.create)
+              MB_radix.pipeline ~on_machine ~on_measure ~debug ~ncores ~duration make)
             (fun ~on_machine ~on_measure ~ncores ~duration ->
-              MB_radix.global ~on_machine ~on_measure ~ncores ~duration Radixvm.create)
+              MB_radix.global ~on_machine ~on_measure ~debug ~ncores ~duration make)
       | "radixvm-shared" ->
-          let make m = Radixvm.create_with ~mmu:Vm.Page_table.Shared m in
+          let make m =
+            Radixvm.create_with ~mmu:Vm.Page_table.Shared ~rangelock ?partition m
+          in
           pick
             (fun ~on_machine ~on_measure ~ncores ~duration ->
-              MB_radix.local ~on_machine ~on_measure ~ncores ~duration make)
+              MB_radix.local ~on_machine ~on_measure ~debug ~ncores ~duration make)
             (fun ~on_machine ~on_measure ~ncores ~duration ->
-              MB_radix.pipeline ~on_machine ~on_measure ~ncores ~duration make)
+              MB_radix.pipeline ~on_machine ~on_measure ~debug ~ncores ~duration make)
             (fun ~on_machine ~on_measure ~ncores ~duration ->
-              MB_radix.global ~on_machine ~on_measure ~ncores ~duration make)
+              MB_radix.global ~on_machine ~on_measure ~debug ~ncores ~duration make)
       | "linux" ->
           pick
             (fun ~on_machine ~on_measure ~ncores ~duration ->
-              MB_linux.local ~on_machine ~on_measure ~ncores ~duration Baselines.Linux_vm.create)
+              MB_linux.local ~on_machine ~on_measure ~debug ~ncores ~duration Baselines.Linux_vm.create)
             (fun ~on_machine ~on_measure ~ncores ~duration ->
-              MB_linux.pipeline ~on_machine ~on_measure ~ncores ~duration Baselines.Linux_vm.create)
+              MB_linux.pipeline ~on_machine ~on_measure ~debug ~ncores ~duration Baselines.Linux_vm.create)
             (fun ~on_machine ~on_measure ~ncores ~duration ->
-              MB_linux.global ~on_machine ~on_measure ~ncores ~duration Baselines.Linux_vm.create)
+              MB_linux.global ~on_machine ~on_measure ~debug ~ncores ~duration Baselines.Linux_vm.create)
       | "bonsai" ->
           pick
             (fun ~on_machine ~on_measure ~ncores ~duration ->
-              MB_bonsai.local ~on_machine ~on_measure ~ncores ~duration Baselines.Bonsai_vm.create)
+              MB_bonsai.local ~on_machine ~on_measure ~debug ~ncores ~duration Baselines.Bonsai_vm.create)
             (fun ~on_machine ~on_measure ~ncores ~duration ->
-              MB_bonsai.pipeline ~on_machine ~on_measure ~ncores ~duration Baselines.Bonsai_vm.create)
+              MB_bonsai.pipeline ~on_machine ~on_measure ~debug ~ncores ~duration Baselines.Bonsai_vm.create)
             (fun ~on_machine ~on_measure ~ncores ~duration ->
-              MB_bonsai.global ~on_machine ~on_measure ~ncores ~duration Baselines.Bonsai_vm.create)
+              MB_bonsai.global ~on_machine ~on_measure ~debug ~ncores ~duration Baselines.Bonsai_vm.create)
       | other -> failwith ("unknown vm " ^ other)
     in
-    (result, render_report vm chk)
+    (result, render_report ~rangelock vm chk)
   in
   sweep
     ~name:(Printf.sprintf "%s %s" vm bench)
@@ -175,7 +227,7 @@ let micro_cmd =
     (Cmd.info "micro" ~doc:"Run a section-5.3 microbenchmark.")
     Term.(
       const micro $ bench $ vm_arg $ cores_list_arg $ jobs_arg $ duration_arg
-      $ check_arg)
+      $ check_arg $ rangelock_arg $ partition_arg $ debug_stats_arg)
 
 (* ---- metis ---- *)
 
@@ -262,11 +314,13 @@ let counter_cmd =
 
 (* ---- index ---- *)
 
-let index structure readers writers duration =
+let index structure readers writers duration debug =
   let result =
     match structure with
-    | "skiplist" -> Workloads.Index_bench.skiplist ~readers ~writers ~duration
-    | "radix" -> Workloads.Index_bench.radix ~readers ~writers ~duration
+    | "skiplist" ->
+        Workloads.Index_bench.skiplist ~debug ~readers ~writers ~duration ()
+    | "radix" ->
+        Workloads.Index_bench.radix ~debug ~readers ~writers ~duration ()
     | other -> failwith ("unknown structure " ^ other)
   in
   Format.printf "%a@." Workloads.Index_bench.pp_result result
@@ -285,7 +339,9 @@ let index_cmd =
   in
   Cmd.v
     (Cmd.info "index" ~doc:"Run the Figure 6/7 index lookup benchmark.")
-    Term.(const index $ structure $ readers $ writers $ duration_arg)
+    Term.(
+      const index $ structure $ readers $ writers $ duration_arg
+      $ debug_stats_arg)
 
 (* ---- snapshot ---- *)
 

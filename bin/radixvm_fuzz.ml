@@ -47,11 +47,30 @@ let broken_arg =
            expected to FAIL — use this to confirm the oracle and checkers \
            have teeth.")
 
-let main seed ops cores runs jobs check verbose broken =
+let rangelock_conv =
+  let parse s =
+    match Locks.Range_lock.of_string s with
+    | Ok k -> Ok k
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Locks.Range_lock.name k))
+
+let rangelock_arg =
+  Arg.(
+    value
+    & opt rangelock_conv Locks.Range_lock.Radix_embedded
+    & info [ "rangelock" ]
+        ~doc:
+          "Range-lock backend for every address space: $(b,radix) (the \
+           paper's embedded slot locks, default), $(b,list) (ordered list \
+           of locked ranges), or $(b,global) (one whole-address-space \
+           lock).")
+
+let main seed ops cores runs jobs check verbose broken rangelock =
   let runs = max 1 runs in
   let sessions =
     List.init runs (fun i ->
-        let cfg = { Fuzz.seed = seed + i; ops; ncores = cores; check; verbose; broken } in
+        let cfg = { Fuzz.seed = seed + i; ops; ncores = cores; check; verbose; broken; rangelock } in
         Harness.Pool.job
           ~name:(Printf.sprintf "fuzz-%d" cfg.Fuzz.seed)
           (fun () -> Fuzz.run_session cfg))
@@ -68,6 +87,6 @@ let cmd =
     (Cmd.info "radixvm-fuzz" ~doc)
     Term.(
       const main $ seed_arg $ ops_arg $ cores_arg $ runs_arg $ jobs_arg
-      $ check_arg $ verbose_arg $ broken_arg)
+      $ check_arg $ verbose_arg $ broken_arg $ rangelock_arg)
 
 let () = exit (Cmd.eval cmd)

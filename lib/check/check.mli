@@ -160,10 +160,13 @@ val accesses : t -> int
     Equals the machine's [l1_hits + transfers + dram_fills] accumulated
     while attached (the checker and the cost model see the same stream). *)
 
-val ok : ?allow:string list -> t -> bool
-(** No races, no lock-order cycles, no stale TLB entries, no refcount
-    violations, no leaked locks, and no multi-writer lines outside
-    [allow]. *)
+val ok : ?allow:string list -> ?race_allow:string list -> t -> bool
+(** No races outside [race_allow], no lock-order cycles, no stale TLB
+    entries, no refcount violations, no leaked locks, and no multi-writer
+    lines outside [allow]. [race_allow] names line {e labels} whose
+    concurrency discipline the line-granular lockset analysis cannot
+    express — e.g. the list range-lock backend's ordered list, which is
+    traversed and spliced lock-free by design. Default: no filtering. *)
 
 val radixvm_allow : string list
 (** The documented allowlist for RadixVM on disjoint-region workloads:
@@ -177,10 +180,12 @@ val radixvm_allow : string list
 
 (** {1 Reporting} *)
 
-val report : ?allow:string list -> Format.formatter -> t -> unit
+val report :
+  ?allow:string list -> ?race_allow:string list -> Format.formatter -> t ->
+  unit
 (** Human-readable report: access total, per-label census, then each
     analysis's findings and a PASS/FAIL verdict ([allow] as in
-    {!multi_writer_lines}). *)
+    {!multi_writer_lines}, [race_allow] as in {!ok}). *)
 
 val pp_race : Format.formatter -> race -> unit
 val pp_cycle : Format.formatter -> cycle -> unit

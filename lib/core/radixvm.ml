@@ -27,6 +27,8 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     tree : meta Radix.t;
     mmu : Mmu.t;
     ever_active : Bitset.t;  (* cores that ever used this address space *)
+    rangelock : Locks.Range_lock.kind;  (* forked children inherit *)
+    rl_partition : int option;
   }
 
   let name = "radixvm+" ^ C.name
@@ -41,7 +43,8 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     }
 
   let create_with ?(mmu = Page_table.Per_core) ?bits ?levels ?collapse
-      ?share_state machine =
+      ?(rangelock = Locks.Range_lock.Radix_embedded) ?partition ?share_state
+      machine =
     let rc, csub, cache =
       match share_state with
       | Some other -> (other.rc, other.csub, other.cache)
@@ -56,9 +59,13 @@ module Make (C : Refcnt.Counter_intf.S) = struct
       rc;
       csub;
       cache;
-      tree = Radix.create ?bits ?levels ?collapse machine rc core0;
+      tree =
+        Radix.create ?bits ?levels ?collapse ~backend:rangelock ?partition
+          machine rc core0;
       mmu = Mmu.create machine mmu;
       ever_active = Bitset.create (Machine.ncores machine);
+      rangelock;
+      rl_partition = partition;
     }
 
   let create machine = create_with machine
@@ -446,23 +453,34 @@ module Make (C : Refcnt.Counter_intf.S) = struct
      operations on this address space, as in real kernels. *)
   let fork t (core : Core.t) =
     Core.tick core core.Core.params.Params.op_cost;
-    let child = create_with ~mmu:(Mmu.kind t.mmu) ~share_state:t t.machine in
+    let child =
+      create_with ~mmu:(Mmu.kind t.mmu) ~rangelock:t.rangelock
+        ?partition:t.rl_partition ~share_state:t t.machine
+    in
     let lo = 0 and hi = Radix.max_vpn t.tree in
     let lk = Radix.lock_range t.tree core ~lo ~hi in
     let child_lk = Radix.lock_range child.tree core ~lo ~hi in
+    (* Metadata records this fork demotes to COW (records that were not
+       COW before): an abort must restore their bits, or the parent's
+       still-cached writable translations would contradict the tree. *)
+    let demoted = ref [] in
     match
+    abort_point core ~op:"fork" ~point:"locked";
     let targets = Bitset.create (Machine.ncores t.machine) in
     (* Demote the parent's writable anonymous pages to COW. *)
     Radix.update_range t.tree core lk ~f:(fun m ->
         (match (m.frame, m.backing, m.prot) with
         | Some _, Vm_types.Anon, Vm_types.Read_write ->
             Bitset.union_into ~dst:targets m.tlb_cores;
+            if not m.cow then demoted := m :: !demoted;
             m.cow <- true
         | _ -> ());
         m);
+    abort_point core ~op:"fork" ~point:"demoted";
     (* Build the child's mappings page by page. *)
     ignore
       (Radix.fold_mapped t.tree ~init:() ~f:(fun () vpn m ->
+           abort_point core ~op:"fork" ~point:"copy";
            Core.tick core core.Core.params.Params.l1_hit;
            match m.frame with
            | None ->
@@ -482,6 +500,7 @@ module Make (C : Refcnt.Counter_intf.S) = struct
         if not (Bitset.is_empty targets) then
           Bitset.union_into ~dst:targets t.ever_active
     | Page_table.Per_core | Page_table.Grouped _ -> ());
+    abort_point core ~op:"fork" ~point:"copied";
     shootdown t core ~lo ~hi targets
     with
     | () ->
@@ -490,8 +509,20 @@ module Make (C : Refcnt.Counter_intf.S) = struct
         child
     | exception e ->
         if not (rollback_broken core) then begin
+          (* No shootdown has happened yet, so restoring the demoted
+             records' COW bits restores the parent exactly (its cached
+             translations were valid for the pre-fork state). The records
+             are per-page private — never folded, since only faulted
+             pages carry frames — so clearing the bit cannot leak into
+             other pages. *)
+          List.iter (fun m -> m.cow <- false) !demoted;
           Radix.unlock_range child.tree core child_lk;
-          Radix.unlock_range t.tree core lk
+          Radix.unlock_range t.tree core lk;
+          (* Tear the half-built child down: releases the frame
+             references the copy loop took and empties the child's tree.
+             Suppress injection — like process exit, fork's failure path
+             must not itself fail. *)
+          destroy child core
         end;
         raise e
 
@@ -546,6 +577,7 @@ module Make (C : Refcnt.Counter_intf.S) = struct
   let mprotect_result t core ~vpn ~npages prot =
     trap (fun () -> mprotect t core ~vpn ~npages prot)
 
+  let fork_result t core = trap (fun () -> fork t core)
   let touch_result t core ~vpn = trap (fun () -> touch t core ~vpn)
   let read_result t core ~vpn = trap (fun () -> read t core ~vpn)
 

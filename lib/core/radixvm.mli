@@ -37,14 +37,20 @@ module Make (C : Refcnt.Counter_intf.S) : sig
     ?bits:int ->
     ?levels:int ->
     ?collapse:bool ->
+    ?rangelock:Locks.Range_lock.kind ->
+    ?partition:int ->
     ?share_state:t ->
     Ccsim.Machine.t ->
     t
   (** [create_with machine] with [mmu] defaulting to [Per_core] (the
       paper's configuration; [Shared] gives the Figure 9 ablation),
-      radix geometry as in {!Radix.create}. [share_state] makes the new
-      address space share another's Refcache, frame counters, and page
-      cache — what processes of one system share ({!fork} uses it). *)
+      radix geometry as in {!Radix.create}. [rangelock] picks the
+      range-lock backend (default [Radix_embedded]; see
+      {!Locks.Range_lock}) and [partition] enables the embedded backend's
+      huge-fold partitioning, both as in {!Radix.create}; forked children
+      inherit both. [share_state] makes the new address space share
+      another's Refcache, frame counters, and page cache — what processes
+      of one system share ({!fork} uses it). *)
 
   val store : t -> Ccsim.Core.t -> vpn:int -> int -> Vm_types.access_result
   (** A user store carrying a value: like {!touch}, but records the word in
@@ -111,6 +117,13 @@ module Make (C : Refcnt.Counter_intf.S) : sig
   val mprotect_result :
     t -> Ccsim.Core.t -> vpn:int -> npages:int -> Vm_types.prot ->
     (unit, Vm_types.vm_error) Stdlib.result
+
+  val fork_result :
+    t -> Ccsim.Core.t -> (t, Vm_types.vm_error) Stdlib.result
+  (** {!fork} with the expected failures caught. An [Error] means the
+      parent is untouched (COW demotions undone, locks released) and the
+      half-built child was destroyed — its tree emptied and every frame
+      reference the copy had taken released. *)
 
   val touch_result :
     t -> Ccsim.Core.t -> vpn:int ->

@@ -9,11 +9,14 @@ type config = {
   check : bool;
   verbose : bool;
   broken : bool;
+  rangelock : Locks.Range_lock.kind;
+      (* every process's address space uses this backend; the default
+         keeps the seed-42 golden transcript byte-identical *)
 }
 
 let default =
   { seed = 0; ops = 600; ncores = 4; check = true; verbose = false;
-    broken = false }
+    broken = false; rangelock = Locks.Range_lock.Radix_embedded }
 
 type outcome = { transcript : string; passed : bool; failures : string list }
 
@@ -102,8 +105,12 @@ let run_session cfg =
   in
   if cfg.broken then Fault.set_break_rollback plan true;
   Machine.set_fault machine (Some plan);
-  out "fuzz: seed=%d ops=%d cores=%d budget=%d%s" cfg.seed cfg.ops cfg.ncores
+  out "fuzz: seed=%d ops=%d cores=%d budget=%d%s%s" cfg.seed cfg.ops cfg.ncores
     budget
+    (* Both suffixes are empty at the defaults, keeping golden bytes. *)
+    (match cfg.rangelock with
+    | Locks.Range_lock.Radix_embedded -> ""
+    | k -> " rangelock=" ^ Locks.Range_lock.name k)
     (if cfg.broken then " BROKEN-ROLLBACK" else "");
   out "plan: delayed=[%s] stalled=[%s] aborts=[%s]"
     (String.concat "," (List.rev_map string_of_int !delayed))
@@ -120,7 +127,14 @@ let run_session cfg =
     incr next_id;
     { id; vm; pages }
   in
-  let procs = ref [ new_proc (R.create machine) (Hashtbl.create 64) ] in
+  let procs =
+    ref
+      [
+        new_proc
+          (R.create_with ~rangelock:cfg.rangelock machine)
+          (Hashtbl.create 64);
+      ]
+  in
   let n_ok = ref 0
   and n_segv = ref 0
   and n_enomem = ref 0

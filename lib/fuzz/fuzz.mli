@@ -27,10 +27,18 @@ type config = {
           ({!Ccsim.Fault.set_break_rollback}) — the session must FAIL;
           used to prove the oracle and checkers catch a missing
           rollback *)
+  rangelock : Locks.Range_lock.kind;
+      (** range-lock backend for every process's address space (forked
+          children inherit it). The default ([Radix_embedded]) keeps
+          transcripts byte-identical with earlier versions; the other
+          backends reuse the same frozen operation stream, so the whole
+          alphabet (including fork teardown and abort rollback) runs
+          against each backend. *)
 }
 
 val default : config
-(** seed 0, 600 ops, 4 cores, checker attached, quiet, not broken. *)
+(** seed 0, 600 ops, 4 cores, checker attached, quiet, not broken,
+    radix-embedded range locks. *)
 
 type outcome = {
   transcript : string;

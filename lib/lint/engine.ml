@@ -33,7 +33,7 @@ let repo_classify path =
   {
     hot =
       has "lib/ccsim/" || has "lib/check/" || has "lib/refcache/"
-      || has "lib/core/";
+      || has "lib/core/" || has "lib/locks/";
     artifact =
       has "lib/harness/" || has "lib/fuzz/" || has "bench/" || has "bin/";
     float_emitter = has "lib/harness/" && String.equal base "harness__json.cmt";
@@ -71,6 +71,16 @@ let entropy_idents =
   [
     "Random.self_init"; "Random.State.make_self_init"; "Sys.time";
     "Unix.gettimeofday"; "Unix.time";
+  ]
+
+(* Environment variables are configuration that never appears in a
+   transcript, a seed, or a command line: two runs of "the same" command
+   can behave differently depending on ambient shell state. Every knob
+   must be an explicit flag threaded from the driver. *)
+let getenv_idents =
+  [
+    "Sys.getenv"; "Sys.getenv_opt"; "Unix.getenv"; "Unix.environment";
+    "Unix.unsafe_environment";
   ]
 
 let order_idents =
@@ -224,6 +234,11 @@ let collect scope modname file_fallback str =
         (Printf.sprintf
            "%s is run-to-run nondeterminism; thread a seed or take the clock \
             outside the deterministic core" n);
+    if List.exists (String.equal n) getenv_idents then
+      emit Finding.Det_getenv loc
+        (Printf.sprintf
+           "%s reads ambient environment state no transcript records; thread \
+            an explicit flag from the driver instead" n);
     if scope.artifact && List.exists (String.equal n) order_idents then
       emit Finding.Det_hashtbl_order loc
         (Printf.sprintf

@@ -2,8 +2,8 @@
 
     A [config] decides, per cmt path, which rule families apply
     ({!scope}) and which directories the cmt walk skips; {!repo_config}
-    encodes this repository's policy (hot = ccsim/check/refcache/core,
-    artifact-reaching = harness/fuzz/bench/bin, float emitter =
+    encodes this repository's policy (hot = ccsim/check/refcache/core/
+    locks, artifact-reaching = harness/fuzz/bench/bin, float emitter =
     [Harness.Json], fixtures skipped). *)
 
 type scope = {

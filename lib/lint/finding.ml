@@ -1,6 +1,7 @@
 type rule =
   | Ds_toplevel_mutable
   | Det_entropy
+  | Det_getenv
   | Det_hashtbl_order
   | Det_float_format
   | Hot_hashtbl
@@ -13,6 +14,7 @@ let all_rules =
   [
     Ds_toplevel_mutable;
     Det_entropy;
+    Det_getenv;
     Det_hashtbl_order;
     Det_float_format;
     Hot_hashtbl;
@@ -25,6 +27,7 @@ let all_rules =
 let rule_id = function
   | Ds_toplevel_mutable -> "ds-toplevel-mutable"
   | Det_entropy -> "det-entropy"
+  | Det_getenv -> "det-getenv"
   | Det_hashtbl_order -> "det-hashtbl-order"
   | Det_float_format -> "det-float-format"
   | Hot_hashtbl -> "hot-hashtbl"

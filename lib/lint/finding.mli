@@ -9,6 +9,10 @@ type rule =
   | Det_entropy
       (** A source of run-to-run nondeterminism: wall clocks or
           self-seeded RNGs. *)
+  | Det_getenv
+      (** Ambient environment-variable reads — configuration that does
+          not appear in any transcript or seed, so two runs of "the same"
+          command can diverge. Thread flags explicitly instead. *)
   | Det_hashtbl_order
       (** Stdlib [Hashtbl] iteration in a module whose output reaches an
           artifact or transcript. *)

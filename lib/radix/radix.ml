@@ -15,11 +15,21 @@ and 'v node = {
   mutable dead : bool;
 }
 
+(* How ranges are locked. [Embedded] is the paper's design: per-slot lock
+   bits walked by [lock_range], optionally with DragonFly-style
+   partitioning of huge folds. [External] delegates the whole range to a
+   pluggable backend ({!Locks.Range_lock}) and walks the tree lock-free
+   under its protection. *)
+type backend =
+  | Embedded of { partition : int option }
+  | External of Locks.Range_lock.t
+
 type 'v t = {
   rc : Refcache.t;
   fanout : int;
   levels : int;
   collapse : bool;
+  backend : backend;
   pages_per_slot : int array;  (* indexed by level: fanout^level *)
   mutable root : 'v node option;  (* None only while [create] runs *)
   mutable nodes : int;
@@ -36,6 +46,7 @@ type 'v locked = {
   lk_hi : int;
   mutable spans : ('v node * int * int) list;
   mutable pins : 'v node list;
+  mutable ext : Locks.Range_lock.handle option;  (* [External] backends *)
 }
 
 (* Interior slots are pointer-sized, eight per 64-byte line (false sharing
@@ -114,9 +125,26 @@ let alloc_node t (core : Core.t) ~level ~base ~content =
   Core.tick core core.Core.params.Params.page_zero;
   node
 
-let create ?(bits = 9) ?(levels = 4) ?(collapse = false) _machine rc core =
+let create ?(bits = 9) ?(levels = 4) ?(collapse = false)
+    ?(backend = Locks.Range_lock.Radix_embedded) ?partition machine rc core =
   if bits < 1 || bits > 9 then invalid_arg "Radix.create: bits";
   if levels < 1 then invalid_arg "Radix.create: levels";
+  (match partition with
+  | Some p when p < 1 -> invalid_arg "Radix.create: partition"
+  | _ -> ());
+  let backend =
+    match Locks.Range_lock.create_external machine core backend with
+    | None -> Embedded { partition }
+    | Some rl ->
+        if collapse then
+          invalid_arg
+            "Radix.create: external range-lock backends require \
+             collapse=false (collapse unlinks nodes under per-slot locks)";
+        if Option.is_some partition then
+          invalid_arg
+            "Radix.create: ~partition applies only to the embedded backend";
+        External rl
+  in
   let fanout = 1 lsl bits in
   let pages_per_slot =
     Array.init levels (fun l ->
@@ -129,6 +157,7 @@ let create ?(bits = 9) ?(levels = 4) ?(collapse = false) _machine rc core =
       fanout;
       levels;
       collapse;
+      backend;
       pages_per_slot;
       root = None;
       nodes = 0;
@@ -143,7 +172,9 @@ let create ?(bits = 9) ?(levels = 4) ?(collapse = false) _machine rc core =
 
 (* Expand a locked interior slot one level: the child replicates the slot's
    folded content and is born with every slot locked by the expanding
-   operation (the paper's lock-bit propagation). *)
+   operation (the paper's lock-bit propagation). Under an external
+   range-lock backend the tree carries no lock bits, so the child is born
+   unlocked and no span is recorded. *)
 let expand t core parent i content lk =
   assert (parent.level > 0);
   let span = t.pages_per_slot.(parent.level) in
@@ -153,12 +184,35 @@ let expand t core parent i content lk =
       ~content
   in
   child.parent <- Some (parent, i);
-  for j = 0 to t.fanout - 1 do
-    Lock.acquire core child.locks.(j)
-  done;
-  lk.spans <- (child, 0, t.fanout - 1) :: lk.spans;
+  (match t.backend with
+  | Embedded _ ->
+      for j = 0 to t.fanout - 1 do
+        Lock.acquire core child.locks.(j)
+      done;
+      lk.spans <- (child, 0, t.fanout - 1) :: lk.spans
+  | External _ -> ());
   write_slot t core parent i (Child child);
   child
+
+(* DragonFly's partitioning trick (their vm_map splits reservations above
+   a 32 MB threshold): a huge folded run only partially covered by the
+   range being locked is split one level before locking, so concurrent
+   faults into one big mapping take locks on disjoint finer slots instead
+   of serializing on the single covering slot. The parent slot lock is
+   held only for the split itself; the caller then descends into the
+   child. Refcounts match [expand]: the child is born with every slot
+   folded (count [fanout] + anchor) and the parent slot's Folded->Child
+   rewrite leaves its used count unchanged. *)
+let split_fold t core parent i v =
+  assert (parent.level > 0);
+  let span = t.pages_per_slot.(parent.level) in
+  let child =
+    alloc_node t core ~level:(parent.level - 1)
+      ~base:(parent.base + (i * span))
+      ~content:(Folded v)
+  in
+  child.parent <- Some (parent, i);
+  write_slot t core parent i (Child child)
 
 let slot_bounds t node i =
   let span = t.pages_per_slot.(node.level) in
@@ -170,47 +224,66 @@ let clamp lo hi slot_lo slot_hi = (max lo slot_lo, min hi slot_hi)
 let lock_range t core ~lo ~hi =
   if not (0 <= lo && lo < hi && hi <= max_vpn t) then
     invalid_arg "Radix.lock_range: bad range";
-  let lk = { lk_lo = lo; lk_hi = hi; spans = []; pins = [] } in
-  let rec go node lo hi =
-    let span = t.pages_per_slot.(node.level) in
-    let first = (lo - node.base) / span in
-    let last = (hi - 1 - node.base) / span in
-    if node.level = 0 then begin
-      for i = first to last do
-        Lock.acquire core node.locks.(i)
-      done;
-      lk.spans <- (node, first, last) :: lk.spans
-    end
-    else
-      let rec do_slot i =
-        let slot_lo, slot_hi = slot_bounds t node i in
-        match read_slot core node i with
-        | Child n -> (
-            match Refcache.tryget t.rc core n.weak with
-            | Some _ ->
-                lk.pins <- n :: lk.pins;
-                let l, h = clamp lo hi slot_lo slot_hi in
-                go n l h
-            | None ->
-                (* The child was collapsed under us; clean up and retry. *)
+  let lk = { lk_lo = lo; lk_hi = hi; spans = []; pins = []; ext = None } in
+  match t.backend with
+  | External rl ->
+      lk.ext <- Some (Locks.Range_lock.acquire core rl ~lo ~hi);
+      lk
+  | Embedded { partition } ->
+      let rec go node lo hi =
+        let span = t.pages_per_slot.(node.level) in
+        let first = (lo - node.base) / span in
+        let last = (hi - 1 - node.base) / span in
+        if node.level = 0 then begin
+          for i = first to last do
+            Lock.acquire core node.locks.(i)
+          done;
+          lk.spans <- (node, first, last) :: lk.spans
+        end
+        else
+          let rec do_slot i =
+            let slot_lo, slot_hi = slot_bounds t node i in
+            match read_slot core node i with
+            | Child n -> (
+                match Refcache.tryget t.rc core n.weak with
+                | Some _ ->
+                    lk.pins <- n :: lk.pins;
+                    let l, h = clamp lo hi slot_lo slot_hi in
+                    go n l h
+                | None ->
+                    (* The child was collapsed under us; clean up, retry. *)
+                    Lock.acquire core node.locks.(i);
+                    (match node.slots.(i) with
+                    | Child n' when n'.dead -> write_slot t core node i Empty
+                    | Empty | Folded _ | Child _ -> ());
+                    Lock.release core node.locks.(i);
+                    do_slot i)
+            | Folded _
+              when (match partition with
+                   | Some p -> span > p && not (lo <= slot_lo && slot_hi <= hi)
+                   | None -> false) ->
+                (* Partitioning: split the huge fold rather than lock it
+                   whole. Taking the slot lock briefly serializes racing
+                   splitters of this one slot; after the split both descend
+                   into disjoint parts of the child. *)
                 Lock.acquire core node.locks.(i);
                 (match node.slots.(i) with
-                | Child n' when n'.dead -> write_slot t core node i Empty
-                | Empty | Folded _ | Child _ -> ());
+                | Folded v' -> split_fold t core node i v'
+                | Empty | Child _ -> ());
                 Lock.release core node.locks.(i);
-                do_slot i)
-        | Empty | Folded _ ->
-            (* Lock at interior granularity; expansion, if needed, happens
-               later under this lock. *)
-            Lock.acquire core node.locks.(i);
-            lk.spans <- (node, i, i) :: lk.spans
+                do_slot i
+            | Empty | Folded _ ->
+                (* Lock at interior granularity; expansion, if needed,
+                   happens later under this lock. *)
+                Lock.acquire core node.locks.(i);
+                lk.spans <- (node, i, i) :: lk.spans
+          in
+          for i = first to last do
+            do_slot i
+          done
       in
-      for i = first to last do
-        do_slot i
-      done
-  in
-  go (root t) lo hi;
-  lk
+      go (root t) lo hi;
+      lk
 
 let unlock_range t core lk =
   (* Spans are prepended as they are locked, so walking the list releases
@@ -224,6 +297,13 @@ let unlock_range t core lk =
       done)
     lk.spans;
   List.iter (fun node -> Refcache.dec t.rc core node.obj) lk.pins;
+  (match lk.ext with
+  | None -> ()
+  | Some h ->
+      (match t.backend with
+      | External rl -> Locks.Range_lock.release core rl h
+      | Embedded _ -> assert false);
+      lk.ext <- None);
   lk.spans <- [];
   lk.pins <- []
 

@@ -47,10 +47,23 @@ type 'v locked
 
 val create :
   ?bits:int -> ?levels:int -> ?collapse:bool ->
+  ?backend:Locks.Range_lock.kind -> ?partition:int ->
   Ccsim.Machine.t -> Refcnt.Refcache.t -> Ccsim.Core.t -> 'v t
 (** [create machine rc core] builds an empty tree whose root is allocated
     by [core]. [bits] is the index width per level (default 9), [levels]
-    the depth (default 4); the tree covers VPNs [0, 2^(bits*levels)). *)
+    the depth (default 4); the tree covers VPNs [0, 2^(bits*levels)).
+
+    [backend] selects how {!lock_range} acquires (default
+    [Radix_embedded], the paper's per-slot lock bits; [List_based] and
+    [Global] delegate to {!Locks.Range_lock} and walk the tree lock-free
+    under the external lock — these require [collapse = false]).
+
+    [partition] (embedded backend only) enables DragonFly-style
+    partitioning: a folded run whose slot spans more than [partition]
+    pages and is only partially covered by the range being locked is
+    split one level before locking, so concurrent faults into one huge
+    mapping lock disjoint slots instead of serializing on the covering
+    slot. [None] (the default) reproduces the paper's behavior exactly. *)
 
 val max_vpn : 'v t -> int
 (** One past the largest representable VPN. *)

@@ -34,8 +34,11 @@ let align_clocks machine =
   Array.iter (fun (c : Core.t) -> c.Core.clock <- t) (Machine.cores machine);
   t
 
-let finish ~structure ~readers ~writers ~duration machine lookups pairs =
-  if Sys.getenv_opt "RADIXVM_DEBUG" <> None then
+(* [debug] is an explicit caller-threaded flag (radixvm-bench's
+   --debug-stats), not ambient environment state: benchmark behavior must
+   be a pure function of the configuration (simlint's det-getenv rule). *)
+let finish ~structure ~readers ~writers ~duration ~debug machine lookups pairs =
+  if debug then
     Format.eprintf "[%s r=%d w=%d] %a@." structure readers writers Stats.pp
       (Machine.stats machine);
   let secs = float_of_int duration /. (Params.default ()).Params.clock_hz in
@@ -49,7 +52,7 @@ let finish ~structure ~readers ~writers ~duration machine lookups pairs =
     write_pairs_per_sec = float_of_int pairs /. secs;
   }
 
-let skiplist ~readers ~writers ~duration =
+let skiplist ?(debug = false) ~readers ~writers ~duration () =
   let ncores = max 1 (readers + writers) in
   let machine = Machine.create (Params.default ~ncores ()) in
   let core0 = Machine.core machine 0 in
@@ -81,10 +84,10 @@ let skiplist ~readers ~writers ~duration =
         true)
   done;
   Machine.run_for machine ~cycles:(start + duration);
-  finish ~structure:"skiplist" ~readers ~writers ~duration machine !lookups
-    !pairs
+  finish ~structure:"skiplist" ~readers ~writers ~duration ~debug machine
+    !lookups !pairs
 
-let radix ~readers ~writers ~duration =
+let radix ?(debug = false) ~readers ~writers ~duration () =
   let ncores = max 1 (readers + writers) in
   let machine = Machine.create (Params.default ~ncores ()) in
   let rc = Refcnt.Refcache.create machine in
@@ -125,4 +128,5 @@ let radix ~readers ~writers ~duration =
         true)
   done;
   Machine.run_for machine ~cycles:(start + duration);
-  finish ~structure:"radix" ~readers ~writers ~duration machine !lookups !pairs
+  finish ~structure:"radix" ~readers ~writers ~duration ~debug machine !lookups
+    !pairs

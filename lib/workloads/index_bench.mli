@@ -21,5 +21,11 @@ type result = {
 
 val pp_result : Format.formatter -> result -> unit
 
-val skiplist : readers:int -> writers:int -> duration:int -> result
-val radix : readers:int -> writers:int -> duration:int -> result
+val skiplist :
+  ?debug:bool -> readers:int -> writers:int -> duration:int -> unit -> result
+
+val radix :
+  ?debug:bool -> readers:int -> writers:int -> duration:int -> unit -> result
+(** [debug] (default false) dumps the machine's stat counters to stderr
+    when the run finishes — an explicit flag, threaded from radixvm-bench's
+    [--debug-stats], never ambient environment state. *)

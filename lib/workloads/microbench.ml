@@ -34,10 +34,12 @@ let measure ~warmup ~duration ~on_measure machine (writes : int ref) =
   Machine.run_for machine ~cycles:(warmup + duration);
   !writes - writes0
 
-let finish ~name ~ncores ~duration machine page_writes =
+(* [debug] is an explicit caller-threaded flag (radixvm-bench's
+   --debug-stats), not ambient environment state: benchmark behavior must
+   be a pure function of the configuration (simlint's det-getenv rule). *)
+let finish ~name ~ncores ~duration ~debug machine page_writes =
   let s = Machine.stats machine in
-  if Sys.getenv_opt "RADIXVM_DEBUG" <> None then
-    Format.eprintf "[%s/%d] %a@." name ncores Stats.pp s;
+  if debug then Format.eprintf "[%s/%d] %a@." name ncores Stats.pp s;
   {
     name;
     ncores;
@@ -60,7 +62,7 @@ module Make (V : Vm.Vm_intf.S) = struct
   let local_spacing = 4096
 
   let local ?(warmup = 4_000_000) ?(region_pages = 1) ?(on_machine = ignore)
-      ?(on_measure = ignore) ~ncores ~duration make_vm =
+      ?(on_measure = ignore) ?(debug = false) ~ncores ~duration make_vm =
     let machine = make_machine ncores in
     on_machine machine;
     let vm = make_vm machine in
@@ -81,7 +83,7 @@ module Make (V : Vm.Vm_intf.S) = struct
           true)
     done;
     let measured = measure ~warmup ~duration ~on_measure machine writes in
-    finish ~name:"local" ~ncores ~duration machine measured
+    finish ~name:"local" ~ncores ~duration ~debug machine measured
 
   (* Pipeline: a ring. Each core owns [nbuf] buffer slots in its own part
      of the address space; it maps a slot, writes it, and sends it to the
@@ -90,7 +92,7 @@ module Make (V : Vm.Vm_intf.S) = struct
   type pipe_msg = { owner : int; slot : int; vpn : int; pages : int }
 
   let pipeline ?(warmup = 4_000_000) ?(region_pages = 1) ?(on_machine = ignore)
-      ?(on_measure = ignore) ~ncores ~duration make_vm =
+      ?(on_measure = ignore) ?(debug = false) ~ncores ~duration make_vm =
     if ncores < 2 then invalid_arg "Microbench.pipeline: needs >= 2 cores";
     let machine = make_machine ncores in
     on_machine machine;
@@ -147,7 +149,7 @@ module Make (V : Vm.Vm_intf.S) = struct
           true)
     done;
     let measured = measure ~warmup ~duration ~on_measure machine writes in
-    finish ~name:"pipeline" ~ncores ~duration machine measured
+    finish ~name:"pipeline" ~ncores ~duration ~debug machine measured
 
   (* Global: iterate map-slice / write-everything / unmap-slice with
      barriers between the phases. Page accesses happen in a per-core
@@ -160,7 +162,7 @@ module Make (V : Vm.Vm_intf.S) = struct
     | Waiting_next of int
 
   let global ?(warmup = 4_000_000) ?(slice_pages = 64) ?(on_machine = ignore)
-      ?(on_measure = ignore) ~ncores ~duration make_vm =
+      ?(on_measure = ignore) ?(debug = false) ~ncores ~duration make_vm =
     let machine = make_machine ncores in
     on_machine machine;
     let vm = make_vm machine in
@@ -221,5 +223,5 @@ module Make (V : Vm.Vm_intf.S) = struct
           true)
     done;
     let measured = measure ~warmup ~duration ~on_measure machine writes in
-    finish ~name:"global" ~ncores ~duration machine measured
+    finish ~name:"global" ~ncores ~duration ~debug machine measured
 end

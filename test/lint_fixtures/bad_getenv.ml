@@ -1,0 +1,8 @@
+(* det-getenv: ambient environment-variable reads — configuration that
+   never appears in a transcript or seed. Every call below must be
+   flagged. *)
+
+let debug_enabled () = Sys.getenv_opt "RADIXVM_DEBUG" <> None
+let home () = Sys.getenv "HOME"
+let path () = Unix.getenv "PATH"
+let whole_env () = Array.length (Unix.environment ())

@@ -185,6 +185,68 @@ let test_abort_rolls_back () =
   | Error _ -> Alcotest.fail "munmap after detach failed");
   Alcotest.(check bool) "now unmapped" false (R.mapped vm ~vpn:10)
 
+(* fork has the longest failure path in the VM: by the time it aborts it
+   may have demoted the parent's writable pages to COW, taken per-page
+   frame references for the child, and built part of the child's tree.
+   Abort at each point and require a perfect no-op on the parent — COW
+   demotions undone (a write must not fault a copy), both trees' range
+   locks released, the half-built child torn down with its frame
+   references returned — and that the same fork succeeds once the plan
+   is detached. *)
+let test_fork_abort_rolls_back () =
+  List.iter
+    (fun point ->
+      let m = machine () in
+      let chk = Check.attach m in
+      let plan = plan_on m in
+      let vm = R.create m in
+      let c0 = Machine.core m 0 in
+      (match R.mmap_result vm c0 ~vpn:10 ~npages:4 () with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "setup mmap failed");
+      (* Populate two pages so the demote pass has real work to undo. *)
+      Alcotest.(check result_vm) "store" (Ok T.Ok) (R.store_result vm c0 ~vpn:11 7);
+      Alcotest.(check result_vm) "touch" (Ok T.Ok) (R.touch_result vm c0 ~vpn:12);
+      let frames_before = live m in
+      Fault.abort_ops plan ~op:"fork" ~point ~prob:1.0 ();
+      (match R.fork_result vm c0 with
+      | Error (T.Aborted { op = "fork"; point = p }) ->
+          Alcotest.(check string) (point ^ ": typed abort") point p
+      | Error e -> Alcotest.failf "[%s] wrong error: %a" point T.pp_vm_error e
+      | Ok _ -> Alcotest.failf "[%s] abort at probability 1.0 did not fire" point);
+      Alcotest.(check bool) (point ^ ": still mapped") true (R.mapped vm ~vpn:10);
+      Alcotest.(check (result (option int) vm_error_t))
+        (point ^ ": value survived")
+        (Ok (Some 7))
+        (R.load_result vm c0 ~vpn:11);
+      (* The COW rollback check: were a demotion left behind, this write
+         would fault a private copy and shift the frame count. *)
+      Alcotest.(check result_vm) (point ^ ": write-after-rollback") (Ok T.Ok)
+        (R.store_result vm c0 ~vpn:12 9);
+      Alcotest.(check int) (point ^ ": frames balanced") frames_before (live m);
+      R.check_invariants vm;
+      Alcotest.(check int) (point ^ ": range locks released") 0
+        (List.length (Check.leaked_locks chk));
+      (* With the plan detached the same fork goes through, and the child
+         really shares the parent's pages. *)
+      Machine.set_fault m None;
+      (match R.fork_result vm c0 with
+      | Ok child ->
+          Alcotest.(check (result (option int) vm_error_t))
+            (point ^ ": child sees value")
+            (Ok (Some 7))
+            (R.load_result child c0 ~vpn:11);
+          R.destroy child c0
+      | Error e ->
+          Alcotest.failf "[%s] fork after detach failed: %a" point
+            T.pp_vm_error e);
+      R.destroy vm c0;
+      Machine.drain m ~cycles:(4 * epoch);
+      Alcotest.(check int) (point ^ ": all frames freed") 0 (live m);
+      Alcotest.(check int) (point ^ ": refcount ledger clean") 0
+        (List.length (Check.rc_violations chk)))
+    [ "locked"; "demoted"; "copy"; "copied" ]
+
 let test_frame_exhaustion_degrades () =
   let m = machine () in
   let plan = plan_on m in
@@ -338,6 +400,7 @@ let () =
       ( "degradation",
         [
           tc "abort rolls back" `Quick test_abort_rolls_back;
+          tc "fork abort rolls back" `Quick test_fork_abort_rolls_back;
           tc "frame exhaustion" `Quick test_frame_exhaustion_degrades;
           tc "kernel ENOMEM" `Quick test_kernel_enomem;
           tc "kernel EFAULT/EINVAL" `Quick test_kernel_efault_and_einval;

@@ -210,6 +210,10 @@ let () =
           fires "bad_determinism.ml" "det-entropy" "Bad_determinism.cpu_now";
           fires "bad_determinism.ml" "det-entropy" "Bad_determinism.wall_now";
           fires "bad_determinism.ml" "det-entropy" "Bad_determinism.coarse_now";
+          fires "bad_getenv.ml" "det-getenv" "Bad_getenv.debug_enabled";
+          fires "bad_getenv.ml" "det-getenv" "Bad_getenv.home";
+          fires "bad_getenv.ml" "det-getenv" "Bad_getenv.path";
+          fires "bad_getenv.ml" "det-getenv" "Bad_getenv.whole_env";
           fires "bad_order.ml" "det-hashtbl-order" "Bad_order.dump";
           fires "bad_order.ml" "det-hashtbl-order" "Bad_order.keys";
           fires "bad_order.ml" "det-hashtbl-order" "Bad_order.stream";

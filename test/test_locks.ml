@@ -1,0 +1,278 @@
+(* Tests for the pluggable range-lock backends (lib/locks + the backend
+   parameter on Radix/Radixvm): the boundary matrix every backend must
+   pass (lo = 0, hi = max_vpn, single pages, adjacent ranges), the
+   blocking-semantics agreement (overlap serializes everywhere; disjoint
+   ranges run in parallel everywhere except the global strawman, whose
+   whole-point is that they don't), the DragonFly fold-partitioning
+   trick, node recycling in the list backend, and a qcheck property
+   cross-checking the list backend against a held-ranges model. *)
+
+open Ccsim
+module Refcache = Refcnt.Refcache
+module RL = Locks.Range_lock
+
+let epoch = 10_000
+
+let setup ?(ncores = 4) ?(bits = 4) ?(levels = 3)
+    ?(backend = RL.Radix_embedded) ?partition () =
+  let m = Machine.create (Params.default ~ncores ~epoch_cycles:epoch ()) in
+  let rc = Refcache.create m in
+  let core0 = Machine.core m 0 in
+  let tree = Radix.create ~bits ~levels ~backend ?partition m rc core0 in
+  (m, tree)
+
+let mmap tree core ~lo ~hi v =
+  let lk = Radix.lock_range tree core ~lo ~hi in
+  ignore (Radix.clear_range tree core lk);
+  Radix.fill_range tree core lk v;
+  Radix.unlock_range tree core lk
+
+let munmap tree core ~lo ~hi =
+  let lk = Radix.lock_range tree core ~lo ~hi in
+  ignore (Radix.clear_range tree core lk);
+  Radix.unlock_range tree core lk
+
+let backends = RL.all
+let backend_name = RL.name
+
+(* ------------------------------------------------------------------ *)
+(* Boundary matrix: every backend must handle the address-space edges  *)
+
+let test_boundaries backend () =
+  let m, tree = setup ~backend () in
+  let c = Machine.core m 0 in
+  let max = Radix.max_vpn tree in
+  (* lo = 0, single page. *)
+  mmap tree c ~lo:0 ~hi:1 "first";
+  Alcotest.(check (option string)) "page 0" (Some "first") (Radix.lookup tree c 0);
+  (* hi = max_vpn, single page. *)
+  mmap tree c ~lo:(max - 1) ~hi:max "last";
+  Alcotest.(check (option string)) "last page" (Some "last")
+    (Radix.lookup tree c (max - 1));
+  munmap tree c ~lo:0 ~hi:1;
+  munmap tree c ~lo:(max - 1) ~hi:max;
+  (* The whole space at once. *)
+  mmap tree c ~lo:0 ~hi:max "all";
+  Alcotest.(check (option string)) "mid" (Some "all")
+    (Radix.lookup tree c (max / 2));
+  munmap tree c ~lo:0 ~hi:max;
+  Alcotest.(check (option string)) "empty again" None (Radix.lookup tree c 0);
+  Radix.check_invariants tree
+
+let test_bad_ranges backend () =
+  let m, tree = setup ~backend () in
+  let c = Machine.core m 0 in
+  Alcotest.check_raises "empty range"
+    (Invalid_argument "Radix.lock_range: bad range") (fun () ->
+      ignore (Radix.lock_range tree c ~lo:5 ~hi:5));
+  Alcotest.check_raises "past the end"
+    (Invalid_argument "Radix.lock_range: bad range") (fun () ->
+      ignore (Radix.lock_range tree c ~lo:0 ~hi:(Radix.max_vpn tree + 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Blocking semantics: where the backends must agree (and where the
+   global strawman is documented to differ)                            *)
+
+(* Overlapping ranges serialize under every backend: core a holds
+   [4, 8) across a 100k-cycle critical section; core b's [7, 12) must
+   not begin until a released. *)
+let test_overlap_serializes backend () =
+  let m, tree = setup ~backend () in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  mmap tree a ~lo:0 ~hi:16 "v";
+  let lk = Radix.lock_range tree a ~lo:4 ~hi:8 in
+  Core.tick a 100_000;
+  Radix.unlock_range tree a lk;
+  let lk_b = Radix.lock_range tree b ~lo:7 ~hi:12 in
+  Alcotest.(check bool)
+    (Printf.sprintf "[%s] overlapping locker waited" (backend_name backend))
+    true
+    (Core.now b >= 100_000);
+  Radix.unlock_range tree b lk_b;
+  Radix.check_invariants tree
+
+(* Adjacent, non-overlapping single-page-granularity ranges: [4, 6) and
+   [6, 8) share no page, so b must not serialize behind a's critical
+   section — except under the global backend, where serializing
+   everything is the (documented) point. The two ranges are mapped
+   separately so the embedded backend's tree holds them as expanded
+   leaf pages, not one fold: locking any page of a fold holds the
+   fold's whole span (that propagation is partition_probe's subject,
+   not this test's). *)
+let test_adjacent_ranges backend () =
+  let m, tree = setup ~backend () in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  mmap tree a ~lo:4 ~hi:6 "v";
+  mmap tree a ~lo:6 ~hi:8 "w";
+  let lk = Radix.lock_range tree a ~lo:4 ~hi:6 in
+  Core.tick a 100_000;
+  Radix.unlock_range tree a lk;
+  let lk_b = Radix.lock_range tree b ~lo:6 ~hi:8 in
+  let waited = Core.now b >= 100_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "[%s] adjacent ranges %s" (backend_name backend)
+       (if backend = RL.Global then "serialize (strawman)" else "run in parallel"))
+    (backend = RL.Global) waited;
+  Radix.unlock_range tree b lk_b;
+  Radix.check_invariants tree
+
+(* ------------------------------------------------------------------ *)
+(* The DragonFly partition trick                                       *)
+
+(* One 256-page fold (a full root slot at bits=4, levels=3). Locking a
+   single page of it under the plain embedded backend expands the fold,
+   and expansion propagates the lock to every new slot: core a's
+   one-page critical section holds all 256 pages, so core b's fault on
+   page 200 serializes behind it. With ~partition:8 the fold is split
+   instead of propagated, a holds only its page, and b proceeds. *)
+let partition_probe partition =
+  let m, tree = setup ?partition () in
+  let a = Machine.core m 0 and b = Machine.core m 1 in
+  mmap tree a ~lo:0 ~hi:256 "big";
+  let lk = Radix.lock_range tree a ~lo:0 ~hi:1 in
+  Core.tick a 100_000;
+  Radix.unlock_range tree a lk;
+  let lk_b = Radix.lock_range tree b ~lo:200 ~hi:201 in
+  let waited = Core.now b >= 100_000 in
+  Radix.unlock_range tree b lk_b;
+  (* Splitting must be invisible to the mapping itself. *)
+  Alcotest.(check (option string)) "fold value intact" (Some "big")
+    (Radix.lookup tree b 137);
+  Radix.check_invariants tree;
+  waited
+
+let test_partition_avoids_propagation () =
+  Alcotest.(check bool)
+    "plain embedded: expansion serializes the whole fold" true
+    (partition_probe None);
+  Alcotest.(check bool)
+    "partition=8: disjoint faults on one fold proceed" false
+    (partition_probe (Some 8))
+
+let test_partition_external_rejected () =
+  let m = Machine.create (Params.default ~ncores:2 ~epoch_cycles:epoch ()) in
+  let rc = Refcache.create m in
+  let c = Machine.core m 0 in
+  Alcotest.check_raises "partition requires the embedded backend"
+    (Invalid_argument "Radix.create: ~partition applies only to the embedded backend")
+    (fun () ->
+      ignore
+        (Radix.create ~bits:4 ~levels:3 ~backend:RL.List_based ~partition:8 m
+           rc c))
+
+(* ------------------------------------------------------------------ *)
+(* List backend: node recycling                                        *)
+
+let test_list_recycling () =
+  (* One core, so the quiescence horizon (min core clock) advances and
+     released nodes actually become recyclable. *)
+  let m = Machine.create (Params.default ~ncores:1 ~epoch_cycles:epoch ()) in
+  let c = Machine.core m 0 in
+  let t = Locks.List_lock.create m c in
+  (* Sequential churn: each acquire recycles the previous node straight
+     out of the pool, so the list never grows past one node. *)
+  for i = 0 to 31 do
+    let h = Locks.List_lock.acquire c t ~lo:(i * 4) ~hi:((i * 4) + 2) in
+    Core.tick c 1_000;
+    Locks.List_lock.release c t h
+  done;
+  Alcotest.(check bool) "list stays bounded under churn" true
+    (Locks.List_lock.outstanding t + Locks.List_lock.pooled t <= 2);
+  (* Two disjoint holds released together: the next acquire unlinks both
+     quiescent nodes and reuses one, leaving the other in the pool. *)
+  let h1 = Locks.List_lock.acquire c t ~lo:200 ~hi:202 in
+  let h2 = Locks.List_lock.acquire c t ~lo:204 ~hi:206 in
+  Core.tick c 1_000;
+  Locks.List_lock.release c t h1;
+  Locks.List_lock.release c t h2;
+  Core.tick c 1_000;
+  let h3 = Locks.List_lock.acquire c t ~lo:208 ~hi:210 in
+  Alcotest.(check bool) "released nodes were recycled" true
+    (Locks.List_lock.pooled t > 0);
+  Alcotest.(check bool) "unlinked, not leaked" true
+    (Locks.List_lock.outstanding t = 1);
+  Locks.List_lock.release c t h3
+
+(* ------------------------------------------------------------------ *)
+(* List backend vs a held-ranges model (qcheck)                        *)
+
+(* The model is the set of previously held ranges with their release
+   times. For each acquisition: if any overlapping range's release time
+   is still in the acquirer's future, the acquirer must end up at or
+   past every such release (overlap => block, exclusion intervals
+   serialize); if none is, the machine-wide lock-wait counter must not
+   move (disjoint or already-released => both acquire without waiting). *)
+let list_model_test =
+  let op_gen =
+    QCheck.Gen.(
+      map3
+        (fun core lo (len, hold) -> (core, lo, lo + 1 + len, hold))
+        (int_bound 3) (int_bound 60)
+        (pair (int_bound 7) (int_bound 5_000)))
+  in
+  QCheck.Test.make ~name:"list backend matches held-range model" ~count:100
+    (QCheck.make
+       ~print:(fun l ->
+         String.concat ";"
+           (List.map
+              (fun (c, lo, hi, hold) -> Printf.sprintf "c%d[%d,%d)+%d" c lo hi hold)
+              l))
+       QCheck.Gen.(list_size (int_range 1 40) op_gen))
+    (fun ops ->
+      let m = Machine.create (Params.default ~ncores:4 ~epoch_cycles:epoch ()) in
+      let t = Locks.List_lock.create m (Machine.core m 0) in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (ci, lo, hi, hold) ->
+          let core = Machine.core m ci in
+          let t0 = core.Core.clock in
+          let wait0 = (Machine.stats m).Stats.lock_wait_cycles in
+          let h = Locks.List_lock.acquire core t ~lo ~hi in
+          let blockers =
+            List.filter
+              (fun (l, h', rt) -> l < hi && lo < h' && rt > t0)
+              !model
+          in
+          List.iter
+            (fun (_, _, rt) -> if core.Core.clock < rt then ok := false)
+            blockers;
+          if
+            blockers = []
+            && (Machine.stats m).Stats.lock_wait_cycles <> wait0
+          then ok := false;
+          Core.tick core hold;
+          Locks.List_lock.release core t h;
+          model := (lo, hi, Core.now core) :: !model)
+        ops;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc = Alcotest.test_case in
+  let per_backend name f =
+    List.map
+      (fun b -> tc (Printf.sprintf "%s (%s)" name (backend_name b)) `Quick (f b))
+      backends
+  in
+  Alcotest.run "locks"
+    [
+      ("boundaries", per_backend "edges of the space" test_boundaries
+                     @ per_backend "bad ranges rejected" test_bad_ranges);
+      ( "blocking agreement",
+        per_backend "overlap serializes" test_overlap_serializes
+        @ per_backend "adjacent ranges" test_adjacent_ranges );
+      ( "partition",
+        [
+          tc "splits instead of propagating" `Quick
+            test_partition_avoids_propagation;
+          tc "external backends reject it" `Quick
+            test_partition_external_rejected;
+        ] );
+      ( "list backend",
+        [
+          tc "node recycling" `Quick test_list_recycling;
+          QCheck_alcotest.to_alcotest list_model_test;
+        ] );
+    ]

@@ -211,10 +211,10 @@ let test_metis_deterministic () =
 
 let test_radix_readers_immune_to_writers () =
   let base =
-    Workloads.Index_bench.radix ~readers:8 ~writers:0 ~duration:300_000
+    Workloads.Index_bench.radix ~readers:8 ~writers:0 ~duration:300_000 ()
   in
   let loaded =
-    Workloads.Index_bench.radix ~readers:8 ~writers:4 ~duration:300_000
+    Workloads.Index_bench.radix ~readers:8 ~writers:4 ~duration:300_000 ()
   in
   Alcotest.(check bool) "lookups happened" true
     (base.Workloads.Index_bench.lookups > 0);
@@ -228,10 +228,10 @@ let test_radix_readers_immune_to_writers () =
 
 let test_skiplist_readers_hurt_by_writers () =
   let base =
-    Workloads.Index_bench.skiplist ~readers:8 ~writers:0 ~duration:300_000
+    Workloads.Index_bench.skiplist ~readers:8 ~writers:0 ~duration:300_000 ()
   in
   let loaded =
-    Workloads.Index_bench.skiplist ~readers:8 ~writers:4 ~duration:300_000
+    Workloads.Index_bench.skiplist ~readers:8 ~writers:4 ~duration:300_000 ()
   in
   let ratio =
     loaded.Workloads.Index_bench.lookups_per_sec
