@@ -36,6 +36,48 @@ let require_rows path = function
   | Json.Obj (_ :: _) -> ()  (* scalar-shaped artifacts (pt-overhead, ablations) *)
   | _ -> fail "%s: expected an array of rows or an object" path
 
+(* The chaos soak's artifact: a summary object carrying one row per
+   session; the counts must be consistent with the rows. *)
+let require_chaos path json =
+  List.iter
+    (fun key ->
+      if Json.member key json = None then fail "%s: missing field %S" path key)
+    [
+      "schema_version";
+      "seed";
+      "budget_seconds";
+      "wall_clock_seconds";
+      "sessions";
+      "passed";
+      "failed";
+      "crashes_injected";
+      "livelocks";
+      "rows";
+    ];
+  match Json.member "rows" json with
+  | Some (Json.List (_ :: _ as rows)) ->
+      List.iteri
+        (fun i row ->
+          List.iter
+            (fun f ->
+              if Json.member f row = None then
+                fail "%s: row %d missing field %S" path i f)
+            [
+              "seed"; "backend"; "cores"; "ops"; "passed"; "crashes";
+              "livelocked"; "wall_clock_seconds";
+            ])
+        rows;
+      (match (Json.member "sessions" json, Json.member "passed" json,
+              Json.member "failed" json) with
+      | Some (Json.Int n), Some (Json.Int p), Some (Json.Int f) ->
+          if n <> List.length rows then
+            fail "%s: sessions=%d but %d rows" path n (List.length rows);
+          if p + f <> n then
+            fail "%s: passed(%d) + failed(%d) <> sessions(%d)" path p f n
+      | _ -> fail "%s: sessions/passed/failed must be integers" path)
+  | Some (Json.List []) -> fail "%s: empty rows array" path
+  | _ -> fail "%s: missing or malformed rows" path
+
 let require_meta path json =
   List.iter
     (fun key ->
@@ -74,6 +116,8 @@ let () =
       | Ok json ->
           if Filename.basename path = "BENCH_meta.json" then
             require_meta path json
+          else if Filename.basename path = "BENCH_chaos.json" then
+            require_chaos path json
           else require_rows path json)
     paths;
   Printf.printf "validate: %d artifacts ok\n" (List.length paths)

@@ -3,25 +3,49 @@
 
    Each run is a batch of independent sessions (seeds seed .. seed+runs-1),
    executed on a worker pool; transcripts are printed in seed order, so the
-   output is byte-identical for any --jobs. A failing session prints the
-   seed that replays it:
+   output is byte-identical for any --jobs. A failing session writes a
+   self-contained repro artifact (the reified program plus the failing
+   transcript) and prints the command that replays it:
 
      radixvm-fuzz --seed 42 --ops 600 --cores 4 --runs 2 --jobs 2
-     radixvm-fuzz --seed 1337 --runs 1 --verbose      # replay one session *)
+     radixvm-fuzz --repro fuzz_repro_1337.txt        # replay an artifact
+     radixvm-fuzz --repro fuzz_repro_1337.txt --shrink   # minimize it *)
 
 open Cmdliner
+
+(* Strictly positive counts: a negative --ops or --runs used to be
+   silently clamped, which made typos look like tiny successful runs.
+   Reject them at the CLI boundary instead. *)
+let pos_int_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> Ok v
+    | Some v ->
+        Error (`Msg (Printf.sprintf "%s must be at least 1, got %d" what v))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s: %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base seed; session $(i,i) uses seed + i.")
 
 let ops_arg =
-  Arg.(value & opt int 600 & info [ "ops" ] ~doc:"Operations per session.")
+  Arg.(
+    value
+    & opt (pos_int_conv "--ops") 600
+    & info [ "ops" ] ~doc:"Operations per session (at least 1).")
 
 let cores_arg =
-  Arg.(value & opt int 4 & info [ "cores" ] ~doc:"Simulated cores per session (minimum 2).")
+  Arg.(
+    value
+    & opt (pos_int_conv "--cores") 4
+    & info [ "cores" ] ~doc:"Simulated cores per session (minimum 2; 1 is raised to 2).")
 
 let runs_arg =
-  Arg.(value & opt int 1 & info [ "runs" ] ~doc:"Number of sessions (consecutive seeds).")
+  Arg.(
+    value
+    & opt (pos_int_conv "--runs") 1
+    & info [ "runs" ] ~doc:"Number of sessions (consecutive seeds, at least 1).")
 
 let jobs_arg =
   Arg.(
@@ -47,6 +71,25 @@ let broken_arg =
            expected to FAIL — use this to confirm the oracle and checkers \
            have teeth.")
 
+let crash_arg =
+  Arg.(
+    value & flag
+    & info [ "crash" ]
+        ~doc:
+          "Draw crash rules into the fault plan: operations occasionally \
+           die mid-critical-section without unwinding, and the session \
+           verifies the kernel-side recovery (reap) leaves survivors \
+           intact.")
+
+let watchdog_arg =
+  Arg.(
+    value
+    & opt (some (pos_int_conv "--watchdog")) None
+    & info [ "watchdog" ]
+        ~doc:
+          "Livelock horizon in simulated cycles: fail any session where \
+           no operation retires for this long (requires $(b,--check)).")
+
 let rangelock_conv =
   let parse s =
     match Locks.Range_lock.of_string s with
@@ -66,20 +109,109 @@ let rangelock_arg =
            of locked ranges), or $(b,global) (one whole-address-space \
            lock).")
 
-let main seed ops cores runs jobs check verbose broken rangelock =
-  let runs = max 1 runs in
-  let sessions =
-    List.init runs (fun i ->
-        let cfg = { Fuzz.seed = seed + i; ops; ncores = cores; check; verbose; broken; rangelock } in
-        Harness.Pool.job
-          ~name:(Printf.sprintf "fuzz-%d" cfg.Fuzz.seed)
-          (fun () -> Fuzz.run_session cfg))
-  in
-  let outcomes = Harness.Pool.run ~jobs sessions in
-  List.iter (fun o -> print_string o.Fuzz.transcript) outcomes;
-  let failed = List.filter (fun o -> not o.Fuzz.passed) outcomes in
-  Printf.printf "fuzz: %d/%d sessions passed\n" (runs - List.length failed) runs;
-  if failed <> [] then exit 1
+let repro_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "repro" ] ~docv:"FILE"
+        ~doc:
+          "Replay a recorded repro artifact instead of generating \
+           sessions ($(b,--seed)/$(b,--ops)/$(b,--runs) are ignored).")
+
+let shrink_arg =
+  Arg.(
+    value & flag
+    & info [ "shrink" ]
+        ~doc:
+          "Delta-debug the failing session to a minimal reproducer and \
+           write it as $(i,<artifact>).min.txt. With $(b,--repro), \
+           shrinks that artifact; otherwise shrinks the first failing \
+           generated session.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_artifact path (o : Fuzz.outcome) =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Fuzz.program_to_string o.Fuzz.program);
+      (* The parser stops at "end", so the failing transcript rides along
+         as a human-readable appendix. *)
+      output_string oc "\n# --- failing transcript ---\n";
+      String.split_on_char '\n' o.Fuzz.transcript
+      |> List.iter (fun l -> output_string oc ("# " ^ l ^ "\n")))
+
+let do_shrink ~artifact (o : Fuzz.outcome) =
+  match Fuzz.shrink ~log:prerr_endline o.Fuzz.program with
+  | Error msg ->
+      Printf.eprintf "shrink: %s\n" msg;
+      false
+  | Ok minimal ->
+      let min_path = artifact ^ ".min.txt" in
+      let mo = Fuzz.run_program minimal in
+      write_artifact min_path mo;
+      Printf.printf
+        "shrink: minimized to %d ops, %d cores -> %s\n  replay: \
+         radixvm-fuzz --repro %s\n"
+        (List.length minimal.Fuzz.pr_ops)
+        minimal.Fuzz.pr_ncores min_path min_path;
+      true
+
+let report_failure ~artifact ~shrink (o : Fuzz.outcome) =
+  write_artifact artifact o;
+  Printf.printf "repro: written to %s\n  replay: radixvm-fuzz --repro %s\n"
+    artifact artifact;
+  if shrink then ignore (do_shrink ~artifact o)
+
+let replay_main path shrink verbose =
+  match Fuzz.program_of_string (read_file path) with
+  | Error msg ->
+      Printf.eprintf "radixvm-fuzz: cannot parse %s: %s\n" path msg;
+      exit 2
+  | Ok prog ->
+      let o = Fuzz.run_program ~verbose prog in
+      print_string o.Fuzz.transcript;
+      if o.Fuzz.passed then print_string "fuzz: replay passed\n"
+      else begin
+        print_string "fuzz: replay FAILED\n";
+        if shrink then ignore (do_shrink ~artifact:path o);
+        exit 1
+      end
+
+let main seed ops cores runs jobs check verbose broken crash watchdog
+    rangelock repro shrink =
+  match repro with
+  | Some path -> replay_main path shrink verbose
+  | None ->
+      let sessions =
+        List.init runs (fun i ->
+            let cfg =
+              { Fuzz.seed = seed + i; ops; ncores = cores; check; verbose;
+                broken; rangelock; crash; watchdog; lock_timeouts = [] }
+            in
+            Harness.Pool.job
+              ~name:(Printf.sprintf "fuzz-%d" cfg.Fuzz.seed)
+              (fun () -> Fuzz.run_session cfg))
+      in
+      let outcomes = Harness.Pool.run ~jobs sessions in
+      List.iter (fun o -> print_string o.Fuzz.transcript) outcomes;
+      let failed = List.filter (fun o -> not o.Fuzz.passed) outcomes in
+      Printf.printf "fuzz: %d/%d sessions passed\n"
+        (runs - List.length failed)
+        runs;
+      (match failed with
+      | [] -> ()
+      | o :: _ ->
+          let artifact =
+            Printf.sprintf "fuzz_repro_%d.txt" o.Fuzz.program.Fuzz.pr_seed
+          in
+          report_failure ~artifact ~shrink o);
+      if failed <> [] then exit 1
 
 let cmd =
   let doc = "seeded fault-injection fuzzer for the RadixVM stack" in
@@ -87,6 +219,7 @@ let cmd =
     (Cmd.info "radixvm-fuzz" ~doc)
     Term.(
       const main $ seed_arg $ ops_arg $ cores_arg $ runs_arg $ jobs_arg
-      $ check_arg $ verbose_arg $ broken_arg $ rangelock_arg)
+      $ check_arg $ verbose_arg $ broken_arg $ crash_arg $ watchdog_arg
+      $ rangelock_arg $ repro_arg $ shrink_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -59,8 +59,7 @@ let () =
   Printf.printf "fig5 --quick --jobs 1:     %7.2f s\n%!" fig5_s;
   (* 2. One checked 600-op fuzz session — the soak path, checker attached. *)
   let fuzz_cfg =
-    { Fuzz.seed = 42; ops = 600; ncores = 4; check = true; verbose = false;
-      broken = false; rangelock = Locks.Range_lock.Radix_embedded }
+    { Fuzz.default with Fuzz.seed = 42; ops = 600; ncores = 4; check = true }
   in
   let outcome, fuzz_s = time (fun () -> Fuzz.run_session fuzz_cfg) in
   if not outcome.Fuzz.passed then begin

@@ -1,6 +1,7 @@
 type ipi_response = Prompt | Delayed of int | Stalled
 
 exception Injected_abort of { op : string; point : string }
+exception Injected_crash of { op : string; point : string }
 
 type abort_rule = { a_op : string; a_point : string option; a_prob : float }
 
@@ -11,10 +12,12 @@ type t = {
   ipi : ipi_response Int_table.t;  (* core -> response; absent = Prompt *)
   mutable lock_rules : (string * float) list;  (* label -> probability *)
   mutable abort_rules : abort_rule list;
+  mutable crash_rules : abort_rule list;
   mutable suppress : int;  (* re-entrant suppression depth *)
   mutable broken : bool;
   mutable n_oom : int;
   mutable n_aborts : int;
+  mutable n_crashes : int;
   mutable n_lock_timeouts : int;
   mutable n_ipi_delays : int;
   mutable n_ipi_abandoned : int;
@@ -28,10 +31,12 @@ let create ?(seed = 0) () =
     ipi = Int_table.create ~size_hint:8 Prompt;
     lock_rules = [];
     abort_rules = [];
+    crash_rules = [];
     suppress = 0;
     broken = false;
     n_oom = 0;
     n_aborts = 0;
+    n_crashes = 0;
     n_lock_timeouts = 0;
     n_ipi_delays = 0;
     n_ipi_abandoned = 0;
@@ -70,24 +75,39 @@ let abort_ops t ~op ?point ~prob () =
   check_prob ~fn:"abort_ops" prob;
   t.abort_rules <- { a_op = op; a_point = point; a_prob = prob } :: t.abort_rules
 
+let crash_ops t ~op ?point ~prob () =
+  check_prob ~fn:"crash_ops" prob;
+  t.crash_rules <- { a_op = op; a_point = point; a_prob = prob } :: t.crash_rules
+
 (* ------------------------------------------------------------------ *)
 (* Hot-path queries                                                    *)
 
 let suppressed t = t.suppress > 0
 
+let rule_fires t r ~op ~point =
+  r.a_op = op
+  && (match r.a_point with None -> true | Some p -> p = point)
+  && Random.State.float t.rng 1.0 < r.a_prob
+
 let abort_now t ~op ~point =
-  if t.suppress = 0 then
+  if t.suppress = 0 then begin
     List.iter
       (fun r ->
-        if
-          r.a_op = op
-          && (match r.a_point with None -> true | Some p -> p = point)
-          && Random.State.float t.rng 1.0 < r.a_prob
-        then begin
+        if rule_fires t r ~op ~point then begin
           t.n_aborts <- t.n_aborts + 1;
           raise (Injected_abort { op; point })
         end)
-      t.abort_rules
+      t.abort_rules;
+    (* Crash rules are consulted after abort rules so plans with no
+       configured crashes draw exactly the legacy rng sequence. *)
+    List.iter
+      (fun r ->
+        if rule_fires t r ~op ~point then begin
+          t.n_crashes <- t.n_crashes + 1;
+          raise (Injected_crash { op; point })
+        end)
+      t.crash_rules
+  end
 
 let forced_lock_timeout t ~label =
   t.suppress = 0
@@ -115,6 +135,7 @@ let rollback_broken t = t.broken
 let note_oom t = t.n_oom <- t.n_oom + 1
 let injected_oom t = t.n_oom
 let injected_aborts t = t.n_aborts
+let injected_crashes t = t.n_crashes
 let injected_lock_timeouts t = t.n_lock_timeouts
 let note_ipi_delay t = t.n_ipi_delays <- t.n_ipi_delays + 1
 let ipi_delays t = t.n_ipi_delays
@@ -125,10 +146,16 @@ let pp ppf t =
   let budget =
     match t.budget with Some n -> string_of_int n | None -> "none"
   in
+  (* Configured plan on the left of the bar, one counter per injector on
+     the right — same order both sides so the summary reads as a ledger:
+     every injector (oom, aborts, crashes, lock timeouts, ipi
+     delays/abandoned) reports exactly once. *)
   Format.fprintf ppf
-    "fault<seed=%d budget=%s ipi=%d locks=%d aborts=%d | oom=%d abort=%d \
-     lk-timeout=%d ipi-delay=%d abandoned=%d>"
-    t.fseed budget (Int_table.length t.ipi)
-    (List.length t.lock_rules)
+    "fault<seed=%d budget=%s aborts=%d crashes=%d locks=%d ipi=%d | oom=%d \
+     abort=%d crash=%d lk-timeout=%d ipi-delay=%d ipi-abandoned=%d>"
+    t.fseed budget
     (List.length t.abort_rules)
-    t.n_oom t.n_aborts t.n_lock_timeouts t.n_ipi_delays t.n_ipi_abandoned
+    (List.length t.crash_rules)
+    (List.length t.lock_rules)
+    (Int_table.length t.ipi) t.n_oom t.n_aborts t.n_crashes t.n_lock_timeouts
+    t.n_ipi_delays t.n_ipi_abandoned

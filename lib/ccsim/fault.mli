@@ -23,9 +23,19 @@ type ipi_response =
                  interrupts disabled) *)
 
 exception Injected_abort of { op : string; point : string }
-(** Raised by {!abort_now} when the plan fires: the named VM operation
-    abandons its critical section at the named injection point. VM layers
-    catch this (and roll back) — it must never escape to user code. *)
+(** Raised by {!abort_now} when an {!abort_ops} rule fires: the named VM
+    operation abandons its critical section at the named injection point.
+    VM layers catch this (and roll back) — it must never escape to user
+    code. *)
+
+exception Injected_crash of { op : string; point : string }
+(** Raised by {!abort_now} when a {!crash_ops} rule fires: the process
+    executing the named VM operation dies on the spot, mid-critical-section.
+    Unlike {!Injected_abort}, the VM layers must NOT unwind it — no
+    rollback, no unlock. The operation records enough context for a later
+    {!Radixvm.reap} to repair the half-done work, and the exception
+    propagates to the session driver, which models the kernel noticing the
+    dead process and reaping it. *)
 
 val create : ?seed:int -> unit -> t
 (** A fresh plan with no faults configured. [seed] (default 0) fixes every
@@ -67,11 +77,18 @@ val abort_ops : t -> op:string -> ?point:string -> prob:float -> unit -> unit
     abort with probability [prob] at each of its injection points — or
     only at [point] ("locked", "cleared", "filled") when given. *)
 
+val crash_ops : t -> op:string -> ?point:string -> prob:float -> unit -> unit
+(** Like {!abort_ops}, but the rule raises {!Injected_crash}: the process
+    dies mid-critical-section instead of unwinding gracefully. Crash rules
+    are drawn after abort rules at each injection point, so adding crash
+    rules never perturbs the rng stream of an abort-only plan. *)
+
 (** {1 Hot-path queries} *)
 
 val abort_now : t -> op:string -> point:string -> unit
-(** Draw against every matching {!abort_ops} entry; raises
-    {!Injected_abort} if one fires. No-op while suppressed. *)
+(** Draw against every matching {!abort_ops} entry (raises
+    {!Injected_abort} if one fires), then every matching {!crash_ops}
+    entry (raises {!Injected_crash}). No-op while suppressed. *)
 
 val forced_lock_timeout : t -> label:string -> bool
 (** Draw against the {!timeout_locks} entry for [label]; [true] means the
@@ -108,6 +125,10 @@ val injected_oom : t -> int
 (** Allocation attempts refused by the frame budget. *)
 
 val injected_aborts : t -> int
+
+val injected_crashes : t -> int
+(** Crash rules fired (processes killed mid-critical-section). *)
+
 val injected_lock_timeouts : t -> int
 
 val note_ipi_delay : t -> unit

@@ -145,7 +145,12 @@ type t = {
   mutable tlb_violations : tlb_violation list;
   mutable rc_violations : rc_violation list;
   mutable accesses : int;  (* every line access seen (incl. lock traffic) *)
+  mutable wd_horizon : int option;  (* armed livelock watchdog, in cycles *)
+  mutable wd_mark : int;  (* simulated time at the last progress feed *)
 }
+
+exception
+  Livelock of { elapsed : int; horizon : int; dump : string }
 
 let line_rec t line label =
   let r = Int_table.find_default t.lines line t.dummy_line_rec in
@@ -436,7 +441,58 @@ let note_rc t ~core ~oid ~label f =
         { rv_oid = oid; rv_label = r.rr_label; rv_core = core; rv_fault = fault }
         :: t.rc_violations
 
-let handle t = function
+(* ------------------------------------------------------------------ *)
+(* Livelock watchdog. Locks here are time-based, so the host process can
+   never deadlock — a wedged simulation shows up as simulated time racing
+   ahead with no operation retiring. The driver feeds the watchdog once
+   per retired operation; every observed event then checks how far the
+   simulated clock has run since the last feed, and past the horizon the
+   watchdog trips mid-operation with a dump of every core's held locks
+   (the usual prime suspects). *)
+
+let held_dump t =
+  let b = Buffer.create 256 in
+  Array.iteri
+    (fun core held ->
+      match held with
+      | [] -> ()
+      | _ ->
+          Buffer.add_string b
+            (Printf.sprintf "  core %d holds (innermost first):\n" core);
+          List.iter
+            (fun h ->
+              Buffer.add_string b
+                (Printf.sprintf "    lock %d (%s)%s\n" h.hl_lock h.hl_label
+                   (if h.hl_rd then " [read]" else "")))
+            held)
+    t.held;
+  if Buffer.length b = 0 then "  (no locks held)\n" else Buffer.contents b
+
+let arm_watchdog t ~horizon =
+  if horizon <= 0 then invalid_arg "Check.arm_watchdog";
+  t.wd_horizon <- Some horizon;
+  t.wd_mark <- Machine.elapsed t.machine
+
+let feed_watchdog t =
+  if Option.is_some t.wd_horizon then t.wd_mark <- Machine.elapsed t.machine
+
+let disarm_watchdog t = t.wd_horizon <- None
+
+let wd_check t =
+  match t.wd_horizon with
+  | None -> ()
+  | Some horizon ->
+      let elapsed = Machine.elapsed t.machine in
+      if elapsed - t.wd_mark > horizon then begin
+        (* One-shot: disarm before raising so the unwind (and whatever
+           teardown follows) cannot trip it again. *)
+        t.wd_horizon <- None;
+        raise (Livelock { elapsed; horizon; dump = held_dump t })
+      end
+
+let handle t ev =
+  wd_check t;
+  match ev with
   | Obs.Read { core; line; label; kind } ->
       note_access t ~line ~label ~core ~write:false kind
   | Obs.Write { core; line; label; kind } ->
@@ -547,6 +603,8 @@ let attach machine =
       tlb_violations = [];
       rc_violations = [];
       accesses = 0;
+      wd_horizon = None;
+      wd_mark = 0;
     }
   in
   Obs.set_sink (Machine.obs machine) (Some (handle t));

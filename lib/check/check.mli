@@ -47,6 +47,37 @@ val reset_window : t -> unit
     being born with its lock bits set by the creating core, are startup
     effects the paper's steady-state zero-sharing claim excludes. *)
 
+(** {1 Livelock watchdog}
+
+    The simulator's locks are time-based, so the host process can never
+    deadlock: a wedged simulation (every core spinning on a lock that is
+    never freed, an IPI storm that starves progress) shows up as the
+    simulated clock racing ahead while no operation retires. The watchdog
+    makes that observable: the session driver {!feed_watchdog}s it once
+    per retired operation, and every event the checker observes compares
+    the machine's elapsed simulated time against the last feed. Past the
+    horizon, {!Livelock} is raised from inside the wedged operation with
+    a dump of every core's held locks. The watchdog disarms itself before
+    raising (one-shot), so the unwind cannot trip it again; note the
+    simulation is mid-operation at that point — the session should be
+    abandoned, not torn down. *)
+
+exception Livelock of { elapsed : int; horizon : int; dump : string }
+(** [elapsed] is the machine's simulated time when the watchdog tripped,
+    [horizon] the armed limit, [dump] a human-readable listing of every
+    core's held locks (empty stacks omitted). *)
+
+val arm_watchdog : t -> horizon:int -> unit
+(** Trip {!Livelock} if more than [horizon] simulated cycles pass without
+    a {!feed_watchdog}. [horizon] must be positive and should comfortably
+    exceed the longest legitimate operation (IPI retry backoff included —
+    tens of millions of cycles under heavy fault plans). *)
+
+val feed_watchdog : t -> unit
+(** Mark progress (an operation retired): restart the horizon. *)
+
+val disarm_watchdog : t -> unit
+
 (** {1 Findings} *)
 
 type race = {

@@ -29,6 +29,11 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     ever_active : Bitset.t;  (* cores that ever used this address space *)
     rangelock : Locks.Range_lock.kind;  (* forked children inherit *)
     rl_partition : int option;
+    mutable crashed : (unit -> unit) option;
+        (* Pending crash repair: set when [Fault.Injected_crash] killed an
+           operation mid-critical-section, consumed by [reap]. The closure
+           backs out the half-done work — what a real kernel reconstructs
+           from the dead CPU's journal. *)
   }
 
   let name = "radixvm+" ^ C.name
@@ -66,6 +71,7 @@ module Make (C : Refcnt.Counter_intf.S) = struct
       ever_active = Bitset.create (Machine.ncores machine);
       rangelock;
       rl_partition = partition;
+      crashed = None;
     }
 
   let create machine = create_with machine
@@ -180,6 +186,32 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     | Some f -> Fault.rollback_broken f
     | None -> false
 
+  (* Crash semantics: an [Injected_crash] kills the process on the spot.
+     Unlike an abort, the dying operation must NOT unwind — no rollback,
+     no unlock; the tree is left exactly as the dead core left it, locks
+     and all. Each operation instead maintains [repair], a closure
+     capturing how to back out its half-done work from the current point,
+     and the outer handler stashes it in [t.crashed] for [reap] to run.
+     The inner rollback handlers exclude crashes with [is_crash] so the
+     graceful-abort path stays untouched. *)
+  let is_crash = function Fault.Injected_crash _ -> true | _ -> false
+
+  let stash_crash t repair e =
+    if is_crash e then begin
+      (match t.crashed with
+      | None -> ()
+      | Some _ ->
+          raise
+            (Vm_types.Invariant_violation
+               {
+                 subsystem = "radixvm";
+                 detail = "second crash before the first was reaped";
+               }));
+      t.crashed <- Some repair
+    end
+
+  let crash_pending t = Option.is_some t.crashed
+
   (* Reinstall the mappings a [clear_range] removed, page by page, undoing
      a partially applied operation. The displaced records still own their
      frame references (the caller must not have dropped the collected
@@ -203,15 +235,27 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     Core.tick core core.Core.params.Params.op_cost;
     let lo = vpn and hi = vpn + npages in
     let lk = Radix.lock_range t.tree core ~lo ~hi in
+    let repair = ref (fun () -> Radix.unlock_range ~dead:true t.tree core lk) in
     match
       abort_point core ~op:"mmap" ~point:"locked";
       let removed = Radix.clear_range t.tree core lk in
       let handles = cleanup_removed t core ~lo ~hi removed in
+      (repair :=
+         fun () ->
+           (* Drop any partial fill (its fresh records carry no frames),
+              put the displaced mappings back — they still own the
+              collected handles' references — and free the range on the
+              dead core's behalf. *)
+           let _ : (int * int * meta) list =
+             Radix.clear_range t.tree core lk
+           in
+           reinstate t core lk removed;
+           Radix.unlock_range ~dead:true t.tree core lk);
       (try
          abort_point core ~op:"mmap" ~point:"cleared";
          Radix.fill_range t.tree core lk (fresh_meta core ~prot ~backing);
          abort_point core ~op:"mmap" ~point:"filled"
-       with e when not (rollback_broken core) ->
+       with e when (not (is_crash e)) && not (rollback_broken core) ->
          (* Drop any partial fill, put the displaced mappings back. The
             shoot-down that already happened only over-invalidated TLBs,
             which is always safe. *)
@@ -224,7 +268,9 @@ module Make (C : Refcnt.Counter_intf.S) = struct
         Radix.unlock_range t.tree core lk;
         drop_handles t core handles
     | exception e ->
-        if not (rollback_broken core) then Radix.unlock_range t.tree core lk;
+        stash_crash t !repair e;
+        if (not (is_crash e)) && not (rollback_broken core) then
+          Radix.unlock_range t.tree core lk;
         raise e
 
   let munmap t (core : Core.t) ~vpn ~npages =
@@ -234,12 +280,17 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     Core.tick core core.Core.params.Params.op_cost;
     let lo = vpn and hi = vpn + npages in
     let lk = Radix.lock_range t.tree core ~lo ~hi in
+    let repair = ref (fun () -> Radix.unlock_range ~dead:true t.tree core lk) in
     match
       abort_point core ~op:"munmap" ~point:"locked";
       let removed = Radix.clear_range t.tree core lk in
       let handles = cleanup_removed t core ~lo ~hi removed in
+      (repair :=
+         fun () ->
+           reinstate t core lk removed;
+           Radix.unlock_range ~dead:true t.tree core lk);
       (try abort_point core ~op:"munmap" ~point:"cleared"
-       with e when not (rollback_broken core) ->
+       with e when (not (is_crash e)) && not (rollback_broken core) ->
          reinstate t core lk removed;
          raise e);
       handles
@@ -248,7 +299,9 @@ module Make (C : Refcnt.Counter_intf.S) = struct
         Radix.unlock_range t.tree core lk;
         drop_handles t core handles
     | exception e ->
-        if not (rollback_broken core) then Radix.unlock_range t.tree core lk;
+        stash_crash t !repair e;
+        if (not (is_crash e)) && not (rollback_broken core) then
+          Radix.unlock_range t.tree core lk;
         raise e
 
   let destroy t core =
@@ -257,6 +310,24 @@ module Make (C : Refcnt.Counter_intf.S) = struct
        teardown only releases frames). *)
     Fault.with_suppressed core.Core.fault (fun () ->
         munmap t core ~vpn:0 ~npages:(Radix.max_vpn t.tree))
+
+  (* Reap a process that died mid-operation: run the crashed operation's
+     pending repair — backing out its half-done work and force-releasing
+     the range locks it died holding — then tear the dead address space
+     down, reclaiming its frames through the refcounting layer. Siblings
+     sharing frames keep them (their references are untouched). Must be
+     called with the dead process's own core: lock releases are attributed
+     to the core that acquired them, which both the time-based lock model
+     and the checker's per-core held-lock accounting require. Like any
+     exit path, reaping runs with injection suppressed. *)
+  let reap t core =
+    Fault.with_suppressed core.Core.fault (fun () ->
+        (match t.crashed with
+        | Some repair ->
+            t.crashed <- None;
+            repair ()
+        | None -> ());
+        destroy t core)
 
   (* mprotect: rewrite the metadata under the range lock. Removing write
      permission must invalidate cached (possibly writable) translations;
@@ -267,6 +338,9 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     Core.tick core core.Core.params.Params.op_cost;
     let lo = vpn and hi = vpn + npages in
     let lk = Radix.lock_range t.tree core ~lo ~hi in
+    (* The only injection point fires before the first mutation, so a
+       crash here leaves nothing to back out: repair just frees the lock. *)
+    let repair () = Radix.unlock_range ~dead:true t.tree core lk in
     match
       (* The only abort point is before the first mutation: a permission
          rewrite cannot be partially rolled back page by page, so the
@@ -290,7 +364,9 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     with
     | () -> Radix.unlock_range t.tree core lk
     | exception e ->
-        if not (rollback_broken core) then Radix.unlock_range t.tree core lk;
+        stash_crash t repair e;
+        if (not (is_crash e)) && not (rollback_broken core) then
+          Radix.unlock_range t.tree core lk;
         raise e
 
   let mmap_shared_frame t (core : Core.t) ~vpn ~npages ~pfn handle =
@@ -301,6 +377,9 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     Core.tick core core.Core.params.Params.op_cost;
     let lo = vpn and hi = vpn + npages in
     let lk = Radix.lock_range t.tree core ~lo ~hi in
+    (* The one injection point fires before any mutation (the fill loop
+       that follows cannot fault), so repair is unlock-only. *)
+    let repair () = Radix.unlock_range ~dead:true t.tree core lk in
     match
       abort_point core ~op:"mmap" ~point:"locked";
       let removed = Radix.clear_range t.tree core lk in
@@ -319,7 +398,9 @@ module Make (C : Refcnt.Counter_intf.S) = struct
         Radix.unlock_range t.tree core lk;
         drop_handles t core handles
     | exception e ->
-        if not (rollback_broken core) then Radix.unlock_range t.tree core lk;
+        stash_crash t repair e;
+        if (not (is_crash e)) && not (rollback_broken core) then
+          Radix.unlock_range t.tree core lk;
         raise e
 
   (* Attach a frame to a faulting page, privatizing its metadata record:
@@ -372,6 +453,9 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     let stats = core.Core.stats in
     stats.Stats.pagefaults <- stats.Stats.pagefaults + 1;
     let lk = Radix.lock_range t.tree core ~lo:vpn ~hi:(vpn + 1) in
+    (* Pre-mutation injection point only: a crash here holds the page's
+       lock but has touched nothing, so repair is unlock-only. *)
+    let repair () = Radix.unlock_range ~dead:true t.tree core lk in
     match
       (* Pre-mutation abort point; [Physmem.alloc] inside [attach_frame]
          and [break_cow] can additionally raise [Out_of_frames], in both
@@ -412,7 +496,9 @@ module Make (C : Refcnt.Counter_intf.S) = struct
         Radix.unlock_range t.tree core lk;
         r
     | exception e ->
-        if not (rollback_broken core) then Radix.unlock_range t.tree core lk;
+        stash_crash t repair e;
+        if (not (is_crash e)) && not (rollback_broken core) then
+          Radix.unlock_range t.tree core lk;
         raise e
 
   (* Resolve one user access to the frame it may use. *)
@@ -464,6 +550,16 @@ module Make (C : Refcnt.Counter_intf.S) = struct
        COW before): an abort must restore their bits, or the parent's
        still-cached writable translations would contradict the tree. *)
     let demoted = ref [] in
+    (* One repair covers every fork crash point: no shootdown has happened
+       before the last injection point, so restoring the demoted records'
+       COW bits restores the parent exactly; the half-built child is torn
+       down, returning the frame references the copy loop took. *)
+    let repair () =
+      List.iter (fun m -> m.cow <- false) !demoted;
+      Radix.unlock_range ~dead:true child.tree core child_lk;
+      Radix.unlock_range ~dead:true t.tree core lk;
+      destroy child core
+    in
     match
     abort_point core ~op:"fork" ~point:"locked";
     let targets = Bitset.create (Machine.ncores t.machine) in
@@ -508,7 +604,8 @@ module Make (C : Refcnt.Counter_intf.S) = struct
         Radix.unlock_range t.tree core lk;
         child
     | exception e ->
-        if not (rollback_broken core) then begin
+        stash_crash t repair e;
+        if (not (is_crash e)) && not (rollback_broken core) then begin
           (* No shootdown has happened yet, so restoring the demoted
              records' COW bits restores the parent exactly (its cached
              translations were valid for the pre-fork state). The records

@@ -70,6 +70,23 @@ module Make (C : Refcnt.Counter_intf.S) : sig
   (** Unmap everything (process exit): every frame reference is dropped.
       Runs with fault injection suppressed — teardown never fails. *)
 
+  val reap : t -> Ccsim.Core.t -> unit
+  (** Recover from a crash ({!Ccsim.Fault.Injected_crash}): a crashed
+      operation does not unwind — it leaves the tree mid-mutation with its
+      range locks held and stashes a repair closure here. [reap t core]
+      runs that repair (backing out the half-done mutation, force-releasing
+      the dead process's range locks — {!Radix.unlock_range}[ ~dead:true] —
+      and, for a crashed fork, destroying the half-built child), then
+      destroys the address space, reclaiming every frame through the
+      refcounting layer. Siblings sharing state are untouched. [core] must
+      be the core the process crashed on: lock releases must come from the
+      acquiring core for the lock model's timestamps and the checker's
+      per-core held-lock accounting to balance. Safe to call without a
+      pending crash (plain teardown). Runs with injection suppressed. *)
+
+  val crash_pending : t -> bool
+  (** A crash happened in this address space and {!reap} has not yet run. *)
+
   val discard_page_tables : t -> Ccsim.Core.t -> unit
   (** Memory pressure: drop every per-core page table and TLB entry. The
       radix tree is the canonical mapping, so nothing is lost — subsequent

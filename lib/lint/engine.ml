@@ -13,6 +13,7 @@ type scope = {
   artifact : bool;  (* output can reach an artifact or transcript *)
   float_emitter : bool;  (* the one module allowed to format floats *)
   toplevel_state : bool;  (* ds-toplevel-mutable applies *)
+  sim_core : bool;  (* det-wallclock applies: no host clock reads *)
 }
 
 type config = { classify : string -> scope; skip_dir : string -> bool }
@@ -40,6 +41,10 @@ let repo_classify path =
     (* Tests build per-run state in their drivers; module-level mutable
        state only endangers code the domain pool can reach. *)
     toplevel_state = not (has "test/");
+    (* Everything under lib/ is the deterministic core or its support
+       libraries: wall budgets belong to bin/ drivers, which pass any
+       elapsed time in as plain data. *)
+    sim_core = has "lib/";
   }
 
 let repo_config =
@@ -72,6 +77,12 @@ let entropy_idents =
     "Random.self_init"; "Random.State.make_self_init"; "Sys.time";
     "Unix.gettimeofday"; "Unix.time";
   ]
+
+(* The subset of [entropy_idents] that reads the host wall clock. In a
+   sim-core module these additionally fire [det-wallclock] — a separate
+   id, so a [det-entropy] pin granted to a driver can never be copied
+   onto a lib/ module without a second, deliberate pin. *)
+let wallclock_idents = [ "Unix.gettimeofday"; "Unix.time" ]
 
 (* Environment variables are configuration that never appears in a
    transcript, a seed, or a command line: two runs of "the same" command
@@ -227,6 +238,16 @@ let collect scope modname file_fallback str =
     | _ -> ()
   in
   let on_ident env loc path ty =
+    (* Expand module aliases first: `module U = Unix` must not turn
+       Unix.gettimeofday into an unrecognized U.gettimeofday. Degrades
+       to the raw path when the rebuilt env can't resolve the alias. *)
+    let path =
+      match path with
+      | Path.Pdot (p, s) -> (
+          try Path.Pdot (Env.normalize_module_path None env p, s)
+          with _ -> path)
+      | _ -> path
+    in
     let raw = Path.name path in
     let n = normalize raw in
     if List.exists (String.equal n) entropy_idents then
@@ -234,6 +255,12 @@ let collect scope modname file_fallback str =
         (Printf.sprintf
            "%s is run-to-run nondeterminism; thread a seed or take the clock \
             outside the deterministic core" n);
+    if scope.sim_core && List.exists (String.equal n) wallclock_idents then
+      emit Finding.Det_wallclock loc
+        (Printf.sprintf
+           "%s reads the host wall clock inside the simulator core (lib/); \
+            budget wall time in the bin/ driver and pass elapsed seconds in \
+            as data" n);
     if List.exists (String.equal n) getenv_idents then
       emit Finding.Det_getenv loc
         (Printf.sprintf

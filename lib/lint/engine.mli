@@ -16,6 +16,9 @@ type scope = {
       (** the deterministic float emitter itself (exempt from
           [det-float-format]) *)
   toplevel_state : bool;  (** [ds-toplevel-mutable] applies *)
+  sim_core : bool;
+      (** a simulator-core ([lib/]) module: host wall-clock reads
+          additionally fire [det-wallclock] on top of [det-entropy] *)
 }
 
 type config = {

@@ -1,6 +1,7 @@
 type rule =
   | Ds_toplevel_mutable
   | Det_entropy
+  | Det_wallclock
   | Det_getenv
   | Det_hashtbl_order
   | Det_float_format
@@ -14,6 +15,7 @@ let all_rules =
   [
     Ds_toplevel_mutable;
     Det_entropy;
+    Det_wallclock;
     Det_getenv;
     Det_hashtbl_order;
     Det_float_format;
@@ -27,6 +29,7 @@ let all_rules =
 let rule_id = function
   | Ds_toplevel_mutable -> "ds-toplevel-mutable"
   | Det_entropy -> "det-entropy"
+  | Det_wallclock -> "det-wallclock"
   | Det_getenv -> "det-getenv"
   | Det_hashtbl_order -> "det-hashtbl-order"
   | Det_float_format -> "det-float-format"

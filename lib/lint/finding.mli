@@ -9,6 +9,12 @@ type rule =
   | Det_entropy
       (** A source of run-to-run nondeterminism: wall clocks or
           self-seeded RNGs. *)
+  | Det_wallclock
+      (** A host wall-clock read ([Unix.gettimeofday]/[Unix.time]) inside
+          a simulator-core ([lib/]) module. Fires in addition to
+          [Det_entropy], under its own id, so a [det-entropy] allowlist
+          pin on a driver can never quietly cover a clock leaking into
+          the deterministic core — wall budgets belong to [bin/]. *)
   | Det_getenv
       (** Ambient environment-variable reads — configuration that does
           not appear in any transcript or seed, so two runs of "the same"

@@ -1,0 +1,18 @@
+(* det-wallclock: host wall-clock reads in a sim-core scope. Every call
+   below must be flagged (they also trip det-entropy — the rules are
+   deliberately additive, so a det-entropy pin cannot cover these). *)
+
+let stamp () = Unix.gettimeofday ()
+let epoch () = Unix.time ()
+
+(* Aliases and opens cannot hide the identifier from the typed tree. *)
+module U = Unix
+
+let sneaky () = U.gettimeofday ()
+
+let opened () =
+  let open Unix in
+  time ()
+
+(* Eta-free references, not just direct calls. *)
+let sampler = [ Unix.gettimeofday; Unix.time ]

@@ -138,8 +138,16 @@ let test_ipi_delay_forces_retry () =
     ((Machine.stats m).Stats.shootdown_retries > 0);
   Alcotest.(check int) "nobody abandoned" 0 (Fault.ipi_abandoned plan)
 
+(* The retry-exhaustion path: a stalled core exhausts the sender's retry
+   budget, [ipi_abandoned] records the give-up, and — because the
+   invalidations happened synchronously before the IPI — the abandoned
+   target's TLB mirror stays coherent and no frame is stranded
+   ([shootdown_under] asserts both after the drain). *)
 let test_ipi_stall_abandoned () =
-  let _, plan = shootdown_under (fun plan -> Fault.stall_ipi plan ~core:1) in
+  let m, plan = shootdown_under (fun plan -> Fault.stall_ipi plan ~core:1) in
+  Alcotest.(check bool)
+    "sender retried before giving up" true
+    ((Machine.stats m).Stats.shootdown_retries > 0);
   Alcotest.(check bool)
     "stalled target abandoned after the retry budget" true
     (Fault.ipi_abandoned plan > 0)
@@ -362,6 +370,186 @@ let test_invariant_violation_is_typed () =
         (List.mem subsystem [ "radix"; "radixvm" ])
 
 (* ------------------------------------------------------------------ *)
+(* Crash points: die mid-critical-section, reap, survivors stay clean  *)
+
+(* Every injection point each operation actually passes through (the
+   rollback tests above cover the same map for graceful aborts). *)
+let crash_matrix =
+  [
+    ("mmap", [ "locked"; "cleared"; "filled" ]);
+    ("munmap", [ "locked"; "cleared" ]);
+    ("mprotect", [ "locked" ]);
+    ("pagefault", [ "locked" ]);
+    ("fork", [ "locked"; "demoted"; "copy"; "copied" ]);
+  ]
+
+(* Run the operation that reaches [op]'s injection points. The typed
+   [_result] wrappers catch aborts and Enomem only — a crash must
+   propagate to the caller (the session driver playing kernel). *)
+let run_crash_victim op vm c0 =
+  match op with
+  | "mmap" -> ignore (R.mmap_result vm c0 ~vpn:30 ~npages:2 ())
+  | "munmap" -> ignore (R.munmap_result vm c0 ~vpn:10 ~npages:4)
+  | "mprotect" ->
+      ignore (R.mprotect_result vm c0 ~vpn:10 ~npages:4 T.Read_only)
+  | "pagefault" -> ignore (R.touch_result vm c0 ~vpn:13)
+  | "fork" -> (
+      match R.fork_result vm c0 with
+      | Ok child -> R.destroy child c0
+      | Error _ -> ())
+  | _ -> assert false
+
+(* For every (operation, injection point): kill the process there with no
+   unwinding, let [reap] repair the half-done mutation, and require a
+   sibling process sharing the same Refcache / frame counters / page
+   cache to stay fully operational — then a full teardown with zero
+   leaked frames, locks, refcache entries, or stale TLB lines. *)
+let test_crash_reap_survivors_clean () =
+  List.iter
+    (fun (op, points) ->
+      List.iter
+        (fun point ->
+          let name = Printf.sprintf "%s@%s" op point in
+          let m = machine () in
+          let chk = Check.attach m in
+          let plan = plan_on m in
+          let vm = R.create m in
+          let c0 = Machine.core m 0 and c1 = Machine.core m 1 in
+          (match R.mmap_result vm c0 ~vpn:10 ~npages:4 () with
+          | Ok () -> ()
+          | Error _ -> Alcotest.fail (name ^ ": setup mmap failed"));
+          Alcotest.(check result_vm) (name ^ ": setup store") (Ok T.Ok)
+            (R.store_result vm c0 ~vpn:11 7);
+          Alcotest.(check result_vm) (name ^ ": setup touch") (Ok T.Ok)
+            (R.touch_result vm c0 ~vpn:12);
+          (* The survivor: forked before the crash, so it shares the
+             refcounting layers and holds COW references to the victim's
+             pages — exactly what reap must not disturb. *)
+          let sib =
+            match R.fork_result vm c0 with
+            | Ok s -> s
+            | Error e ->
+                Alcotest.failf "[%s] setup fork failed: %a" name T.pp_vm_error e
+          in
+          Fault.crash_ops plan ~op ~point ~prob:1.0 ();
+          (match run_crash_victim op vm c0 with
+          | exception Fault.Injected_crash { op = o; point = p } ->
+              Alcotest.(check string) (name ^ ": crash names the op") op o;
+              Alcotest.(check string) (name ^ ": crash names the point") point p
+          | () -> Alcotest.failf "[%s] crash at probability 1.0 did not fire" name);
+          Alcotest.(check int) (name ^ ": crash counted") 1
+            (Fault.injected_crashes plan);
+          Alcotest.(check bool) (name ^ ": repair stashed") true
+            (R.crash_pending vm);
+          (* The kernel notices the dead process. Detach the plan first:
+             recovery and the survivor's later work must not re-crash. *)
+          Machine.set_fault m None;
+          R.reap vm c0;
+          (* The dead process's range locks were force-released: nothing
+             the crash held may linger. *)
+          Alcotest.(check int) (name ^ ": no leaked locks after reap") 0
+            (List.length (Check.leaked_locks chk));
+          (* The sibling is oracle-clean and fully operational — reads the
+             shared value, writes (breaking COW), maps and unmaps fresh
+             ranges, and its tree passes the verifier. *)
+          Alcotest.(check (result (option int) vm_error_t))
+            (name ^ ": survivor reads shared value")
+            (Ok (Some 7))
+            (R.load_result sib c1 ~vpn:11);
+          Alcotest.(check result_vm) (name ^ ": survivor writes") (Ok T.Ok)
+            (R.store_result sib c1 ~vpn:12 9);
+          (match R.mmap_result sib c1 ~vpn:50 ~npages:3 () with
+          | Ok () -> ()
+          | Error _ -> Alcotest.fail (name ^ ": survivor mmap failed"));
+          Alcotest.(check result_vm) (name ^ ": survivor touches new range")
+            (Ok T.Ok)
+            (R.touch_result sib c1 ~vpn:51);
+          (match R.munmap_result sib c1 ~vpn:50 ~npages:3 with
+          | Ok () -> ()
+          | Error _ -> Alcotest.fail (name ^ ": survivor munmap failed"));
+          R.check_invariants sib;
+          (* Full teardown: every frame and refcache entry drains. *)
+          R.destroy sib c1;
+          Machine.drain m ~cycles:(4 * epoch);
+          Alcotest.(check int) (name ^ ": zero live frames") 0 (live m);
+          Alcotest.(check int) (name ^ ": refcount ledger clean") 0
+            (List.length (Check.rc_violations chk));
+          Alcotest.(check int) (name ^ ": TLB mirror coherent") 0
+            (List.length (Check.tlb_violations chk)))
+        points)
+    crash_matrix
+
+(* ------------------------------------------------------------------ *)
+(* Suppression: re-entrant and exception-safe                          *)
+
+let test_with_suppressed_reentrant_exception_safe () =
+  let m = machine () in
+  let plan = plan_on m in
+  Fault.abort_ops plan ~op:"mmap" ~point:"locked" ~prob:1.0 ();
+  Fault.crash_ops plan ~op:"mmap" ~point:"locked" ~prob:1.0 ();
+  Fault.timeout_locks plan ~label:"victim" ~prob:1.0;
+  let fires () =
+    match Fault.abort_now plan ~op:"mmap" ~point:"locked" with
+    | () -> false
+    | exception (Fault.Injected_abort _ | Fault.Injected_crash _) -> true
+  in
+  Alcotest.(check bool) "armed outside" true (fires ());
+  Fault.with_suppressed (Some plan) (fun () ->
+      Alcotest.(check bool) "suppressed inside" true (Fault.suppressed plan);
+      Alcotest.(check bool) "aborts and crashes held back" false (fires ());
+      Alcotest.(check bool) "lock timeouts held back" false
+        (Fault.forced_lock_timeout plan ~label:"victim");
+      (* Re-entrancy: leaving a nested suppression must not re-arm the
+         injectors while the outer one is still active. *)
+      Fault.with_suppressed (Some plan) (fun () ->
+          Alcotest.(check bool) "nested suppressed" true (Fault.suppressed plan));
+      Alcotest.(check bool) "outer still suppressed after nested exit" true
+        (Fault.suppressed plan);
+      Alcotest.(check bool) "still held back" false (fires ()));
+  Alcotest.(check bool) "re-armed after exit" true (fires ());
+  (* Exception safety: a thunk escaping by exception (with a nested
+     suppression on the way) must restore the armed state exactly. *)
+  (match
+     Fault.with_suppressed (Some plan) (fun () ->
+         Fault.with_suppressed (Some plan) (fun () -> ());
+         raise Exit)
+   with
+  | () -> Alcotest.fail "Exit swallowed"
+  | exception Exit -> ());
+  Alcotest.(check bool) "not suppressed after exception" false
+    (Fault.suppressed plan);
+  Alcotest.(check bool) "re-armed after exception" true (fires ());
+  (* No plan: pure passthrough. *)
+  Alcotest.(check int) "None passthrough" 7
+    (Fault.with_suppressed None (fun () -> 7))
+
+(* ------------------------------------------------------------------ *)
+(* Livelock watchdog                                                   *)
+
+let test_watchdog_trips_and_is_one_shot () =
+  let m = machine () in
+  let chk = Check.attach m in
+  let vm = R.create m in
+  let c0 = Machine.core m 0 in
+  (* A 1-cycle horizon: the very first op to burn simulated time past the
+     last feed must trip from inside the wedged operation. *)
+  Check.arm_watchdog chk ~horizon:1;
+  Check.feed_watchdog chk;
+  (match R.mmap_result vm c0 ~vpn:0 ~npages:2 () with
+  | exception Check.Livelock { elapsed; horizon; dump = _ } ->
+      Alcotest.(check int) "reports the armed horizon" 1 horizon;
+      Alcotest.(check bool) "elapsed is the machine clock" true (elapsed >= 0)
+  | Ok () -> Alcotest.fail "watchdog did not trip"
+  | Error e -> Alcotest.failf "unexpected error: %a" T.pp_vm_error e);
+  (* One-shot: it disarmed itself before raising, so the session can be
+     abandoned without the unwind (or anything after) re-tripping. *)
+  let vm2 = R.create m in
+  match R.mmap_result vm2 c0 ~vpn:0 ~npages:1 () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "post-trip op failed: %a" T.pp_vm_error e
+  | exception Check.Livelock _ -> Alcotest.fail "watchdog tripped twice"
+
+(* ------------------------------------------------------------------ *)
 (* Fuzzer: determinism and the oracle                                  *)
 
 let test_fuzz_deterministic () =
@@ -378,6 +566,108 @@ let test_fuzz_catches_broken_rollback () =
   let o = Fuzz.run_session cfg in
   Alcotest.(check bool) "known-bad variant fails" false o.Fuzz.passed;
   Alcotest.(check bool) "with explicit failures" true (o.Fuzz.failures <> [])
+
+(* Every generated session records its op stream as an explicit program;
+   replaying that program must reproduce the generation transcript
+   byte-for-byte — drains, invariant sweeps, and respawns land at the
+   same indices in both modes. *)
+let test_record_replay_byte_identical () =
+  let cfg = { Fuzz.default with seed = 42; ops = 300; ncores = 4; check = true }
+  in
+  let o = Fuzz.run_session cfg in
+  Alcotest.(check bool) "generated session passes" true o.Fuzz.passed;
+  let r = Fuzz.run_program o.Fuzz.program in
+  Alcotest.(check string)
+    "replay reproduces the generation transcript byte-for-byte"
+    o.Fuzz.transcript r.Fuzz.transcript;
+  (* And survives a serialization round-trip. *)
+  match Fuzz.program_of_string (Fuzz.program_to_string o.Fuzz.program) with
+  | Error m -> Alcotest.fail m
+  | Ok parsed ->
+      let p = Fuzz.run_program parsed in
+      Alcotest.(check string) "parsed replay identical too" o.Fuzz.transcript
+        p.Fuzz.transcript
+
+(* Under a crash palette the oracle-checked session must still pass:
+   every injected crash is reaped and the survivors stay clean. *)
+let test_fuzz_crash_sessions_recover () =
+  let cfg =
+    { Fuzz.default with
+      seed = 1; ops = 600; ncores = 4; check = true; crash = true }
+  in
+  let o = Fuzz.run_session cfg in
+  Alcotest.(check bool) "crash session passes" true o.Fuzz.passed;
+  Alcotest.(check bool) "crashes were actually injected" true (o.Fuzz.crashes > 0)
+
+(* Lock ids are a global counter, so a failure line's "lock 674030"
+   depends on how many locks the process created before the replay —
+   byte-identity across replays holds per fresh process (the CLI path),
+   while two replays inside this one test process differ only there.
+   Mask the ids before comparing. *)
+let mask_lock_ids s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 5 <= n && String.sub s !i 5 = "lock " then begin
+      Buffer.add_string b "lock ";
+      i := !i + 5;
+      let j = ref !i in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      if !j > !i then Buffer.add_char b '#';
+      i := !j
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+(* The acceptance bound: the known-bad 600-op --broken failure shrinks to
+   a reproducer of at most 25 ops that still fails, and the minimized
+   program replays deterministically. *)
+let test_shrinker_minimizes_broken_failure () =
+  let cfg =
+    { Fuzz.default with
+      seed = 42; ops = 600; ncores = 4; check = true; broken = true }
+  in
+  let o = Fuzz.run_session cfg in
+  Alcotest.(check bool) "known-bad session fails" false o.Fuzz.passed;
+  match Fuzz.shrink o.Fuzz.program with
+  | Error m -> Alcotest.fail m
+  | Ok minimal ->
+      Alcotest.(check bool)
+        (Printf.sprintf "minimal has <= 25 ops (got %d)"
+           (List.length minimal.Fuzz.pr_ops))
+        true
+        (List.length minimal.Fuzz.pr_ops <= 25);
+      let mo = Fuzz.run_program minimal in
+      Alcotest.(check bool) "minimal reproducer still fails" false mo.Fuzz.passed;
+      (* The emitted artifact replays byte-identically. *)
+      match Fuzz.program_of_string (Fuzz.program_to_string minimal) with
+      | Error m -> Alcotest.fail m
+      | Ok parsed ->
+          let po = Fuzz.run_program parsed in
+          Alcotest.(check string) "repro file replays identically"
+            (mask_lock_ids mo.Fuzz.transcript)
+            (mask_lock_ids po.Fuzz.transcript)
+
+(* Shrinking is itself deterministic: the same failing program minimizes
+   to the same reproducer every time (smaller corpus to keep it quick —
+   the 600-op bound is covered above). *)
+let test_shrinker_deterministic () =
+  let cfg = { Fuzz.default with seed = 11; ops = 150; ncores = 3; broken = true }
+  in
+  let o = Fuzz.run_session cfg in
+  Alcotest.(check bool) "session fails" false o.Fuzz.passed;
+  match (Fuzz.shrink o.Fuzz.program, Fuzz.shrink o.Fuzz.program) with
+  | Ok a, Ok b ->
+      Alcotest.(check string) "identical minimized programs"
+        (Fuzz.program_to_string a) (Fuzz.program_to_string b)
+  | Error m, _ | _, Error m -> Alcotest.fail m
 
 (* ------------------------------------------------------------------ *)
 
@@ -411,9 +701,23 @@ let () =
           tc "broken rollback leaks locks" `Quick test_broken_rollback_is_caught;
           tc "invariant violation typed" `Quick test_invariant_violation_is_typed;
         ] );
+      ( "crash-recovery",
+        [
+          tc "reap leaves survivors clean (all points)" `Quick
+            test_crash_reap_survivors_clean;
+          tc "with_suppressed re-entrant + exception-safe" `Quick
+            test_with_suppressed_reentrant_exception_safe;
+          tc "watchdog trips once" `Quick test_watchdog_trips_and_is_one_shot;
+        ] );
       ( "fuzz",
         [
           tc "deterministic" `Quick test_fuzz_deterministic;
           tc "broken variant caught" `Quick test_fuzz_catches_broken_rollback;
+          tc "record/replay byte-identical" `Quick
+            test_record_replay_byte_identical;
+          tc "crash sessions recover" `Quick test_fuzz_crash_sessions_recover;
+          tc "shrinker hits the 25-op bound" `Slow
+            test_shrinker_minimizes_broken_failure;
+          tc "shrinker deterministic" `Quick test_shrinker_deterministic;
         ] );
     ]

@@ -138,6 +138,28 @@ let test_allow_suppresses () =
              go 0)
            lines))
 
+let test_allow_rule_ids_independent () =
+  (* The additive wall-clock rule has its own id: pinning det-entropy for
+     the module must leave the det-wallclock findings standing. *)
+  with_temp_allow
+    "det-entropy:Bad_wallclock # fixture pin for the acceptance test\n"
+    (fun allow ->
+      let code, lines =
+        run_simlint
+          (Printf.sprintf "--all-scopes --allow %s %s" allow fixture_root)
+      in
+      Alcotest.(check int) "det-wallclock still fails the scan" 1 code;
+      Alcotest.(check bool) "det-wallclock survives a det-entropy pin" true
+        (List.exists
+           (fun l ->
+             let needle = "[det-wallclock] Bad_wallclock" in
+             let n = String.length needle and ln = String.length l in
+             let rec go i =
+               i + n <= ln && (String.sub l i n = needle || go (i + 1))
+             in
+             go 0)
+           lines))
+
 let test_allow_stale () =
   with_temp_allow "hot-marshal:No_such_module.nowhere # stale on purpose\n"
     (fun allow ->
@@ -214,6 +236,15 @@ let () =
           fires "bad_getenv.ml" "det-getenv" "Bad_getenv.home";
           fires "bad_getenv.ml" "det-getenv" "Bad_getenv.path";
           fires "bad_getenv.ml" "det-getenv" "Bad_getenv.whole_env";
+          fires "bad_wallclock.ml" "det-wallclock" "Bad_wallclock.stamp";
+          fires "bad_wallclock.ml" "det-wallclock" "Bad_wallclock.epoch";
+          fires "bad_wallclock.ml" "det-wallclock" "Bad_wallclock.sneaky";
+          fires "bad_wallclock.ml" "det-wallclock" "Bad_wallclock.opened";
+          fires "bad_wallclock.ml" "det-wallclock" "Bad_wallclock.sampler";
+          (* Additive by design: the same sites also trip det-entropy, so
+             a det-entropy pin alone can never cover a sim-core clock. *)
+          fires "bad_wallclock.ml" "det-entropy" "Bad_wallclock.stamp";
+          fires "bad_determinism.ml" "det-wallclock" "Bad_determinism.wall_now";
           fires "bad_order.ml" "det-hashtbl-order" "Bad_order.dump";
           fires "bad_order.ml" "det-hashtbl-order" "Bad_order.keys";
           fires "bad_order.ml" "det-hashtbl-order" "Bad_order.stream";
@@ -249,6 +280,8 @@ let () =
       ( "allowlist",
         [
           Alcotest.test_case "suppression" `Quick test_allow_suppresses;
+          Alcotest.test_case "rule ids independent" `Quick
+            test_allow_rule_ids_independent;
           Alcotest.test_case "stale entry fails" `Quick test_allow_stale;
           Alcotest.test_case "malformed entry fails" `Quick test_allow_malformed;
         ] );
