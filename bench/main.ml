@@ -12,6 +12,9 @@
                   domains (default: Domain.recommended_domain_count; 1 =
                   serial). Results are deterministic and identically
                   ordered for any N.
+     --shards N   widest execution width for the shard target's worlds
+                  (default 4). Combined with --jobs, the pool width is
+                  clamped so jobs x shards never oversubscribes the host.
      --out-dir D  where to write the BENCH_*.json artifacts (default .)
 
    Every selected target writes a machine-readable artifact
@@ -23,7 +26,7 @@ module Json = Harness.Json
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--quick] [--check] [--strict] [--jobs N] [--out-dir D] [targets...]\n\
+    "usage: main.exe [--quick] [--check] [--strict] [--jobs N] [--shards N] [--out-dir D] [targets...]\n\
      targets: %s\n"
     (String.concat " " Figures.target_names);
   exit 1
@@ -58,6 +61,7 @@ let () =
   and check = ref false
   and strict = ref false
   and jobs = ref 0
+  and shards = ref 4
   and out_dir = ref "." in
   let rec parse acc = function
     | [] -> List.rev acc
@@ -76,25 +80,40 @@ let () =
             jobs := n;
             parse acc rest
         | _ -> usage ())
+    | "--shards" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            shards := n;
+            parse acc rest
+        | _ -> usage ())
     | "--out-dir" :: d :: rest ->
         out_dir := d;
         parse acc rest
-    | ("--jobs" | "--out-dir") :: [] -> usage ()
+    | ("--jobs" | "--shards" | "--out-dir") :: [] -> usage ()
     | a :: _ when String.length a > 0 && a.[0] = '-' -> usage ()
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] (List.tl (Array.to_list Sys.argv)) in
-  let jobs = if !jobs = 0 then Harness.Pool.default_jobs () else !jobs in
+  let selected =
+    match args with [] | [ "all" ] -> Figures.target_names | names -> names
+  in
+  (* A shard-figure world already runs up to --shards domains of its own,
+     so when the shard target is part of the run an explicit --jobs is
+     clamped to jobs x shards <= the host's parallelism
+     (Pool.clamp_jobs); other targets keep the requested width. *)
+  let per_job = if List.mem "shard" selected then !shards else 1 in
+  let jobs =
+    if !jobs = 0 then Harness.Pool.default_jobs ()
+    else Harness.Pool.clamp_jobs ~per_job !jobs
+  in
   let ctx =
     {
       Figures.quick = !quick;
       check = !check;
       jobs;
+      shards = !shards;
       ppf = Format.std_formatter;
     }
-  in
-  let selected =
-    match args with [] | [ "all" ] -> Figures.target_names | names -> names
   in
   let t0 = Unix.gettimeofday () in
   let all_checks = ref [] in

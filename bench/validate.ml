@@ -16,6 +16,15 @@ let required_fields path =
   match Filename.basename path with
   | "BENCH_rangelock.json" ->
       [ "backend"; "mix"; "cores"; "writes_per_sec" ]
+  | "BENCH_shard.json" ->
+      (* The shard-scaling figure: sweep coordinates, the cross-shard
+         traffic counters, the wall-clock/speedup metrics, and the digest
+         whose cross-width equality the figure itself asserts. *)
+      [
+        "scenario"; "shards"; "effective_shards"; "host_domains"; "nodes";
+        "cores"; "ops"; "xs_sent"; "xs_delivered"; "sim_cycles";
+        "wall_clock_seconds"; "speedup"; "digest";
+      ]
   | _ -> []
 
 let require_rows path = function

@@ -43,6 +43,15 @@ let max_sessions_arg =
         ~doc:"Hard cap on sessions regardless of remaining budget \
               (0 = no cap).")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ]
+        ~doc:"Run each session as a sharded world of this many coupled \
+              node sessions (Fuzz.run_world), one host domain per node \
+              (clamped to the host's parallelism). Palettes still derive \
+              from (seed, index), so failures stay reproducible.")
+
 let out_dir_arg =
   Arg.(
     value & opt string "."
@@ -90,7 +99,37 @@ let write_artifact path (o : Fuzz.outcome) =
       String.split_on_char '\n' o.Fuzz.transcript
       |> List.iter (fun l -> output_string oc ("# " ^ l ^ "\n")))
 
-let main seconds seed max_sessions out_dir verbose =
+(* One unit of chaos: a plain session, or — with --shards N — a world of
+   N coupled node sessions. Reported through one shape either way. *)
+let run_unit ~shards cfg =
+  if shards <= 1 then begin
+    let o = Fuzz.run_session cfg in
+    ( o.Fuzz.passed,
+      o.Fuzz.crashes,
+      o.Fuzz.livelocked,
+      o.Fuzz.transcript,
+      if o.Fuzz.passed then None else Some o )
+  end
+  else begin
+    let w = Fuzz.run_world ~shards ~nodes:shards cfg in
+    let crashes =
+      List.fold_left
+        (fun a (o : Fuzz.outcome) -> a + o.Fuzz.crashes)
+        0 w.Fuzz.w_outcomes
+    in
+    let livelocked =
+      List.exists (fun (o : Fuzz.outcome) -> o.Fuzz.livelocked) w.Fuzz.w_outcomes
+    in
+    ( w.Fuzz.w_passed,
+      crashes,
+      livelocked,
+      w.Fuzz.w_transcript,
+      List.find_opt
+        (fun (o : Fuzz.outcome) -> not o.Fuzz.passed)
+        w.Fuzz.w_outcomes )
+  end
+
+let main seconds seed max_sessions shards out_dir verbose =
   let t0 = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t0 in
   let rows = ref [] in
@@ -106,29 +145,37 @@ let main seconds seed max_sessions out_dir verbose =
     incr n;
     let cfg = palette ~seed ~index in
     let s0 = Unix.gettimeofday () in
-    let o = Fuzz.run_session cfg in
+    let passed, crashes, livelocked, transcript, failing =
+      run_unit ~shards cfg
+    in
     let wall = Unix.gettimeofday () -. s0 in
-    total_crashes := !total_crashes + o.Fuzz.crashes;
-    if o.Fuzz.livelocked then incr total_livelocks;
-    Printf.printf "chaos: session %d seed=%d backend=%s cores=%d ops=%d -> \
+    total_crashes := !total_crashes + crashes;
+    if livelocked then incr total_livelocks;
+    Printf.printf "chaos: session %d seed=%d backend=%s cores=%d ops=%d%s -> \
                    %s (%d reaped%s, %.2fs)\n%!"
       index cfg.Fuzz.seed
       (Locks.Range_lock.name cfg.Fuzz.rangelock)
       cfg.Fuzz.ncores cfg.Fuzz.ops
-      (if o.Fuzz.passed then "PASS" else "FAIL")
-      o.Fuzz.crashes
-      (if o.Fuzz.livelocked then ", LIVELOCK" else "")
+      (if shards > 1 then Printf.sprintf " shards=%d" shards else "")
+      (if passed then "PASS" else "FAIL")
+      crashes
+      (if livelocked then ", LIVELOCK" else "")
       wall;
-    if verbose || not o.Fuzz.passed then print_string o.Fuzz.transcript;
-    if not o.Fuzz.passed then begin
-      let artifact =
-        Filename.concat out_dir
-          (Printf.sprintf "chaos_repro_%d.txt" cfg.Fuzz.seed)
-      in
-      write_artifact artifact o;
-      Printf.printf
-        "chaos: repro written to %s\n  replay: radixvm-fuzz --repro %s\n%!"
-        artifact artifact;
+    if verbose || not passed then print_string transcript;
+    if not passed then begin
+      (match failing with
+      | Some o ->
+          (* For a world, the artifact is the failing node's own recorded
+             program — it replays standalone with radixvm-fuzz --repro. *)
+          let artifact =
+            Filename.concat out_dir
+              (Printf.sprintf "chaos_repro_%d.txt" o.Fuzz.program.Fuzz.pr_seed)
+          in
+          write_artifact artifact o;
+          Printf.printf
+            "chaos: repro written to %s\n  replay: radixvm-fuzz --repro %s\n%!"
+            artifact artifact
+      | None -> ());
       failures := cfg.Fuzz.seed :: !failures
     end;
     rows :=
@@ -138,9 +185,10 @@ let main seconds seed max_sessions out_dir verbose =
           ("backend", Json.String (Locks.Range_lock.name cfg.Fuzz.rangelock));
           ("cores", Json.Int cfg.Fuzz.ncores);
           ("ops", Json.Int cfg.Fuzz.ops);
-          ("passed", Json.Bool o.Fuzz.passed);
-          ("crashes", Json.Int o.Fuzz.crashes);
-          ("livelocked", Json.Bool o.Fuzz.livelocked);
+          ("shards", Json.Int (max 1 shards));
+          ("passed", Json.Bool passed);
+          ("crashes", Json.Int crashes);
+          ("livelocked", Json.Bool livelocked);
           ("wall_clock_seconds", Json.Float wall);
         ]
       :: !rows
@@ -173,7 +221,7 @@ let cmd =
   Cmd.v
     (Cmd.info "radixvm-chaos" ~doc)
     Term.(
-      const main $ seconds_arg $ seed_arg $ max_sessions_arg $ out_dir_arg
-      $ verbose_arg)
+      const main $ seconds_arg $ seed_arg $ max_sessions_arg $ shards_arg
+      $ out_dir_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -47,6 +47,27 @@ let runs_arg =
     & opt (pos_int_conv "--runs") 1
     & info [ "runs" ] ~doc:"Number of sessions (consecutive seeds, at least 1).")
 
+let nodes_arg =
+  Arg.(
+    value
+    & opt (pos_int_conv "--nodes") 1
+    & info [ "nodes" ]
+        ~doc:
+          "World width: run each seed as a world of this many coupled \
+           node sessions exchanging spawn requests at barrier points \
+           (1 = the classic single-machine session).")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (pos_int_conv "--shards") 1
+    & info [ "shards" ]
+        ~doc:
+          "Host domains executing each world's node sessions. Transcripts \
+           are byte-identical for any value; only the wall clock moves. \
+           Combined with $(b,--jobs), the total worker-domain count is \
+           clamped to the host's parallelism.")
+
 let jobs_arg =
   Arg.(
     value
@@ -183,10 +204,49 @@ let replay_main path shrink verbose =
         exit 1
       end
 
-let main seed ops cores runs jobs check verbose broken crash watchdog
-    rangelock repro shrink =
+let world_main ~seed ~ops ~cores ~runs ~nodes ~shards ~jobs ~check ~verbose
+    ~broken ~crash ~watchdog ~rangelock ~shrink =
+  (* Each world already runs [shards] domains, so the world-level pool is
+     clamped to jobs × shards ≤ the host's parallelism. *)
+  let wjobs = Harness.Pool.clamp_jobs ~per_job:shards jobs in
+  let worlds =
+    List.init runs (fun i ->
+        let cfg =
+          { Fuzz.seed = seed + i; ops; ncores = cores; check; verbose;
+            broken; rangelock; crash; watchdog; lock_timeouts = [] }
+        in
+        Harness.Pool.job
+          ~name:(Printf.sprintf "fuzz-world-%d" cfg.Fuzz.seed)
+          (fun () -> Fuzz.run_world ~shards ~nodes cfg))
+  in
+  let outs = Harness.Pool.run ~jobs:wjobs worlds in
+  List.iter (fun w -> print_string w.Fuzz.w_transcript) outs;
+  let failed = List.filter (fun w -> not w.Fuzz.w_passed) outs in
+  Printf.printf "fuzz: %d/%d worlds passed\n" (runs - List.length failed) runs;
+  (match failed with
+  | [] -> ()
+  | w :: _ -> (
+      (* The failing node's session is an ordinary recorded program —
+         the repro artifact replays it standalone, no world involved. *)
+      match
+        List.filter (fun (o : Fuzz.outcome) -> not o.Fuzz.passed)
+          w.Fuzz.w_outcomes
+      with
+      | [] -> ()
+      | o :: _ ->
+          let artifact =
+            Printf.sprintf "fuzz_repro_%d.txt" o.Fuzz.program.Fuzz.pr_seed
+          in
+          report_failure ~artifact ~shrink o));
+  if failed <> [] then exit 1
+
+let main seed ops cores runs nodes shards jobs check verbose broken crash
+    watchdog rangelock repro shrink =
   match repro with
   | Some path -> replay_main path shrink verbose
+  | None when nodes > 1 || shards > 1 ->
+      world_main ~seed ~ops ~cores ~runs ~nodes ~shards ~jobs ~check ~verbose
+        ~broken ~crash ~watchdog ~rangelock ~shrink
   | None ->
       let sessions =
         List.init runs (fun i ->
@@ -218,8 +278,8 @@ let cmd =
   Cmd.v
     (Cmd.info "radixvm-fuzz" ~doc)
     Term.(
-      const main $ seed_arg $ ops_arg $ cores_arg $ runs_arg $ jobs_arg
-      $ check_arg $ verbose_arg $ broken_arg $ crash_arg $ watchdog_arg
-      $ rangelock_arg $ repro_arg $ shrink_arg)
+      const main $ seed_arg $ ops_arg $ cores_arg $ runs_arg $ nodes_arg
+      $ shards_arg $ jobs_arg $ check_arg $ verbose_arg $ broken_arg
+      $ crash_arg $ watchdog_arg $ rangelock_arg $ repro_arg $ shrink_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -47,7 +47,10 @@ let () =
   (* 1. The quick fig5 sweep, serial: the dominant edit-compile-measure
      loop of this repo. [--jobs 1] so the number means the same thing on
      any host core count. *)
-  let ctx = { Figures.quick = true; check = false; jobs = 1; ppf = null_ppf } in
+  let ctx =
+    { Figures.quick = true; check = false; jobs = 1; shards = 1;
+      ppf = null_ppf }
+  in
   let fig5, fig5_s =
     time (fun () -> Figures.run_target ctx "fig5")
   in
@@ -70,6 +73,20 @@ let () =
   let ops_per_sec = float_of_int fuzz_cfg.Fuzz.ops /. fuzz_s in
   Printf.printf "fuzz 600 ops (checked):    %7.2f s  (%.0f ops/s)\n%!" fuzz_s
     ops_per_sec;
+  (* 2b. A sharded fuzz world: 4 coupled node sessions, execution width
+     clamped to the host. The soak path added by the shard engine. *)
+  let world_cfg =
+    { Fuzz.default with Fuzz.seed = 42; ops = 300; ncores = 4; check = true }
+  in
+  let world, world_s =
+    time (fun () -> Fuzz.run_world ~shards:4 ~nodes:4 world_cfg)
+  in
+  if not world.Fuzz.w_passed then begin
+    prerr_endline "selfbench: sharded fuzz world FAILED; timings meaningless";
+    print_string world.Fuzz.w_transcript;
+    exit 1
+  end;
+  Printf.printf "fuzz world 4x300 (checked):%7.2f s\n%!" world_s;
   (* 3. Micro-op figures through the existing Bechamel wiring. *)
   let micro =
     match Figures.run_target { ctx with ppf = null_ppf } "wallclock" with
@@ -99,6 +116,7 @@ let () =
             ([
                metric "fig5_quick_wall" (Json.Float fig5_s) "s";
                metric "fuzz600_checked_wall" (Json.Float fuzz_s) "s";
+               metric "fuzz_sharded_wall" (Json.Float world_s) "s";
                metric ~better:"higher" "fuzz_ops_per_sec"
                  (Json.Float ops_per_sec) "ops/s";
              ]

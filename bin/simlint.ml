@@ -81,6 +81,7 @@ let () =
               artifact = true;
               float_emitter = false;
               toplevel_state = true;
+              shard_engine = false;
               sim_core = true;
             });
         skip_dir = (fun _ -> false);

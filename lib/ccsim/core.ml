@@ -34,4 +34,8 @@ let now c =
   end;
   c.clock
 
+let interrupt c ~cycles =
+  if cycles < 0 then invalid_arg "Core.interrupt";
+  c.pending_intr <- c.pending_intr + cycles
+
 let pp ppf c = Format.fprintf ppf "core%d@%d" c.id c.clock

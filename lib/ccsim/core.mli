@@ -32,4 +32,12 @@ val tick : t -> int -> unit
 val now : t -> int
 (** Current local clock, after folding in any pending interrupt cost. *)
 
+val interrupt : t -> cycles:int -> unit
+(** Charge [cycles] of interrupt-handler time to this core: the cost is
+    accumulated in [pending_intr] and folded into the clock at the core's
+    next step, exactly as for a locally delivered IPI. This is a delivery
+    endpoint — outside the simulator it may only be called by the
+    epoch-barrier engine ({!Harness.Shard}); simlint's [ds-cross-shard]
+    rule enforces that. *)
+
 val pp : Format.formatter -> t -> unit

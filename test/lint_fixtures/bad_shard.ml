@@ -1,0 +1,32 @@
+(* Known-bad fixture for ds-cross-shard: every binding below calls one
+   of the sharded world's delivery endpoints from outside lib/ccsim and
+   lib/harness — direct mutation of another node's state that bypasses
+   the epoch-barrier exchange. The sanctioned path (Machine.uplink_send)
+   is the clean control: it only buffers into the sender's own outbox. *)
+
+open Ccsim
+
+let machine () = Machine.create (Params.default ~ncores:2 ())
+
+(* Direct cross-shard shootdown: pokes the destination machine's core
+   without any epoch buffering. *)
+let poke_remote dst = Machine.deliver_interrupt dst ~core:0 ~cycles:900
+
+(* Hijacking the shard engine's outbox hook. *)
+let steal_uplink m = Machine.set_uplink m ~node:7 (fun _ -> ())
+
+(* Injecting into a destination node's channel directly. *)
+let inject ch v = Channel.post ch v ~ready:1_000
+
+(* Charging interrupt time to a core the caller does not own. *)
+let charge m = Core.interrupt (Machine.core m 1) ~cycles:450
+
+(* Aliasing must not hide the endpoint from the typed-AST walk. *)
+module M = Machine
+
+let aliased dst = M.deliver_interrupt dst ~core:1 ~cycles:900
+
+(* Clean control: the sanctioned send path buffers into this machine's
+   own outbox and must stay silent. *)
+let sanctioned m =
+  Machine.uplink_send m ~dst:1 ~sent:0 (Machine.Xmsg { tag = 0; a = 1; b = 2 })

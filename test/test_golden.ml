@@ -30,14 +30,35 @@ let null_ppf =
    exercises the pool), no checker (verdict fields would change the
    artifact shape, and the checked configurations are covered by
    @bench-smoke). *)
-let ctx = { Figures.quick = true; check = false; jobs = 2; ppf = null_ppf }
+let ctx ~shards =
+  { Figures.quick = true; check = false; jobs = 2; shards; ppf = null_ppf }
 
+let shard_widths = [ 1; 2; 4 ]
+
+(* Each artifact is regenerated at --shards 1/2/4: the shard width is a
+   pure execution parameter and must never reach the bytes. The width-1
+   rendering is the digest subject; any cross-width difference fails
+   before digesting. *)
 let artifact_bytes target =
-  match Figures.run_target ctx target with
-  | Some out ->
-      (* Same bytes Json.to_file writes: pretty document + newline. *)
-      Harness.Json.to_string ~pretty:true out.Figures.json ^ "\n"
-  | None -> failwith ("unknown bench target " ^ target)
+  let render shards =
+    match Figures.run_target (ctx ~shards) target with
+    | Some out ->
+        (* Same bytes Json.to_file writes: pretty document + newline. *)
+        Harness.Json.to_string ~pretty:true out.Figures.json ^ "\n"
+    | None -> failwith ("unknown bench target " ^ target)
+  in
+  match List.map render shard_widths with
+  | reference :: rest ->
+      List.iteri
+        (fun i bytes ->
+          if bytes <> reference then
+            failwith
+              (Printf.sprintf "%s differs between --shards 1 and --shards %d"
+                 target
+                 (List.nth shard_widths (i + 1))))
+        rest;
+      reference
+  | [] -> assert false
 
 let fuzz_bytes () =
   let outcome = Fuzz.run_session { Fuzz.default with Fuzz.seed = 42 } in
@@ -47,12 +68,34 @@ let fuzz_bytes () =
       ^ String.concat "\n" outcome.Fuzz.failures);
   outcome.Fuzz.transcript
 
+(* The sharded fuzz world: 4 coupled node sessions with cross-node spawn
+   injections, run at genuine domain widths 1/2/4 (~clamp:false so even a
+   small host really lays the nodes out three different ways). *)
+let fuzz_world_bytes () =
+  let base = { Fuzz.default with Fuzz.seed = 42 } in
+  let render shards =
+    (Fuzz.run_world ~clamp:false ~shards ~nodes:4 base).Fuzz.w_transcript
+  in
+  match List.map render shard_widths with
+  | reference :: rest ->
+      List.iteri
+        (fun i bytes ->
+          if bytes <> reference then
+            failwith
+              (Printf.sprintf
+                 "world transcript differs between --shards 1 and --shards %d"
+                 (List.nth shard_widths (i + 1))))
+        rest;
+      reference
+  | [] -> assert false
+
 let subjects =
   [
     ("BENCH_fig5.json", fun () -> artifact_bytes "fig5");
     ("BENCH_fig9.json", fun () -> artifact_bytes "fig9");
     ("BENCH_table2.json", fun () -> artifact_bytes "table2");
     ("fuzz_seed42.transcript", fuzz_bytes);
+    ("fuzz_world_seed42.transcript", fuzz_world_bytes);
   ]
 
 let read_goldens () =
