@@ -16,6 +16,11 @@ let required_fields path =
   match Filename.basename path with
   | "BENCH_rangelock.json" ->
       [ "backend"; "mix"; "cores"; "writes_per_sec" ]
+  | "BENCH_cacheserve.json" ->
+      (* The cache-serving figure: sweep coordinates (system, backend,
+         cores) and the service-throughput metrics every consumer
+         plots. *)
+      [ "system"; "backend"; "cores"; "ops_per_sec"; "ops_per_core" ]
   | "BENCH_shard.json" ->
       (* The shard-scaling figure: sweep coordinates, the cross-shard
          traffic counters, the wall-clock/speedup metrics, and the digest

@@ -113,7 +113,8 @@ let partition_arg =
    allowlist, baselines are reported raw. Pooled jobs must not print, so
    the report is rendered to a string inside the job and printed by the
    collector in sweep order. *)
-let render_report ?(rangelock = Locks.Range_lock.Radix_embedded) vm chk =
+let render_report ?(rangelock = Locks.Range_lock.Radix_embedded)
+    ?(extra_allow = []) ?(extra_races = []) vm chk =
   match !chk with
   | None -> ""
   | Some c ->
@@ -128,12 +129,15 @@ let render_report ?(rangelock = Locks.Range_lock.Radix_embedded) vm chk =
       in
       let allow =
         (match vm with
-        | "radixvm" | "radixvm-shared" -> Check.radixvm_allow
+        | "radixvm" | "radixvm-shared" | "radixvm-pc" | "radixvm-procs" ->
+            Check.radixvm_allow
         | _ -> [])
-        @ rl
+        @ extra_allow @ rl
       in
       let s =
-        Format.asprintf "%a@." (Check.report ~allow ~race_allow:rl_races) c
+        Format.asprintf "%a@."
+          (Check.report ~allow ~race_allow:(extra_races @ rl_races))
+          c
       in
       Check.detach c;
       s
@@ -343,6 +347,161 @@ let index_cmd =
       const index $ structure $ readers $ writers $ duration_arg
       $ debug_stats_arg)
 
+(* ---- cacheserve ---- *)
+
+module CS_radix = Workloads.Cache_serve.Make (Vm.Radixvm.Default)
+module CS_linux = Workloads.Cache_serve.Make (Baselines.Linux_vm)
+module CS_bonsai = Workloads.Cache_serve.Make (Baselines.Bonsai_vm)
+module PCache = Vm.Page_cache.Make (Refcnt.Refcache_counter)
+
+let cacheserve_ops fd =
+  {
+    Workloads.Cache_serve.co_evict =
+      (fun vm core ~page -> Radixvm.evict_file_page vm core ~file:fd ~page);
+    co_mark_dirty =
+      (fun vm core ~page ->
+        PCache.set_dirty (Radixvm.page_cache vm) core ~file:fd ~page);
+    co_dirty =
+      (fun vm ~page -> PCache.dirty (Radixvm.page_cache vm) ~file:fd ~page);
+    co_clear_dirty =
+      (fun vm core ~page ->
+        PCache.clear_dirty (Radixvm.page_cache vm) core ~file:fd ~page);
+  }
+
+let cacheserve vm cores jobs duration check rangelock zipf_s slots evict_every
+    model_ops =
+  let cores = parse_cores cores in
+  if model_ops > 0 then begin
+    (* The sequential model-checked session instead of a throughput run:
+       every observable operation cross-checked against Cache_model. *)
+    let o =
+      Workloads.Cache_serve.Session.run ~ncores:(List.hd cores) ~procs:3
+        ~slots ~zipf_s ~evict_every ~rangelock
+        ~via_kernel:(vm = "radixvm-procs") ~ops:model_ops ()
+    in
+    Format.printf
+      "session: %d ops (%d get / %d set / %d del), %d hits, %d misses@.\
+       evictions %d, writebacks %d, compactions %d, resizes %d@.\
+       divergences %d@."
+      o.ops_done o.gets o.sets o.dels o.hits o.misses o.evictions o.writebacks
+      o.compactions o.resizes
+      (List.length o.divergences);
+    if o.divergences <> [] then begin
+      List.iter (fun d -> Format.printf "  %s@." d) o.divergences;
+      exit 1
+    end
+  end
+  else begin
+    let fd = 3 in
+    let warmup n ~file =
+      1_000_000 + (if file then 80_000 * (slots + (4 * n)) else 0)
+    in
+    let run_one n =
+      let chk = ref None in
+      let on_machine m = if check then chk := Some (Check.attach m) in
+      let on_measure () = Option.iter Check.reset_window !chk in
+      let result =
+        match vm with
+        | "radixvm" ->
+            CS_radix.serve ~warmup:(warmup n ~file:false) ~slots ~zipf_s
+              ~evict_every ~on_machine ~on_measure ~ncores:n ~duration (fun m ->
+                Radixvm.create_with ~rangelock m)
+        | "radixvm-pc" ->
+            CS_radix.serve ~warmup:(warmup n ~file:true) ~slots ~zipf_s
+              ~evict_every ~file:fd ~cache_ops:(cacheserve_ops fd) ~on_machine
+              ~on_measure ~ncores:n ~duration (fun m ->
+                Radixvm.create_with ~rangelock m)
+        | "radixvm-procs" ->
+            Workloads.Cache_serve.Procs.serve ~warmup:(warmup n ~file:true)
+              ~slots ~zipf_s ~evict_every ~on_machine ~on_measure ~ncores:n
+              ~duration ()
+        | "linux" ->
+            CS_linux.serve ~warmup:(warmup n ~file:false) ~slots ~zipf_s
+              ~evict_every ~on_machine ~on_measure ~ncores:n ~duration
+              Baselines.Linux_vm.create
+        | "bonsai" ->
+            CS_bonsai.serve ~warmup:(warmup n ~file:false) ~slots ~zipf_s
+              ~evict_every ~on_machine ~on_measure ~ncores:n ~duration
+              Baselines.Bonsai_vm.create
+        | other -> failwith ("unknown vm " ^ other)
+      in
+      (* Unlike the microbenchmarks, this workload evicts and remaps under
+         live traffic, so lock-protected lines go multi-writer by design:
+         RadixVM contends on slot locks (and page-cache / Refcache lines in
+         the file-backed shapes), the baselines on their shared page table
+         and allocator freelists. Admit exactly those labels; data races,
+         lock cycles, TLB staleness and refcount violations stay fatal. *)
+      let extra_allow, extra_races =
+        match vm with
+        | "linux" ->
+            ([ "pt:shared"; "linux:aslock"; "physmem:freelist" ],
+             [ "pt:shared" ])
+        | "bonsai" ->
+            ([ "pt:shared"; "bonsai:root"; "physmem:freelist" ],
+             [ "pt:shared"; "bonsai:root" ])
+        | _ ->
+            ([ "radix:slot"; "pagecache:lock"; "refcache:obj";
+               "physmem:freelist" ],
+             [])
+      in
+      (result, render_report ~rangelock ~extra_allow ~extra_races vm chk)
+    in
+    sweep
+      ~name:(Printf.sprintf "cacheserve %s" vm)
+      ~jobs ~cores ~pp:Workloads.Cache_serve.pp_result
+      (List.map
+         (fun n ->
+           Harness.Pool.job
+             ~name:(Printf.sprintf "cacheserve %s %d cores" vm n)
+             (fun () -> run_one n))
+         cores)
+  end
+
+let cacheserve_cmd =
+  let vm =
+    let doc =
+      "System under test: $(b,radixvm) (anonymous region, backend from \
+       --rangelock), $(b,radixvm-pc) (file-backed through the page cache, \
+       with dirty writeback), $(b,radixvm-procs) (one forked process per \
+       core via the syscall layer), $(b,linux), or $(b,bonsai)."
+    in
+    Arg.(value & opt string "radixvm" & info [ "vm" ] ~doc)
+  in
+  let zipf_s =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf-s" ] ~doc:"Zipf skew of the key popularity distribution.")
+  in
+  let slots =
+    Arg.(
+      value & opt int 128
+      & info [ "slots" ] ~doc:"Page-granular cache slots (keys hash to one).")
+  in
+  let evict_every =
+    Arg.(
+      value & opt int 512
+      & info [ "evict-every" ]
+          ~doc:
+            "Operations between LRU sweeps (each sweep munmaps, drops and \
+             remaps the coldest slots).")
+  in
+  let model_ops =
+    Arg.(
+      value & opt int 0
+      & info [ "model-ops" ]
+          ~doc:
+            "Run the sequential model-checked session for this many \
+             operations instead of a throughput sweep; exits nonzero on any \
+             divergence from the reference cache model.")
+  in
+  Cmd.v
+    (Cmd.info "cacheserve"
+       ~doc:
+         "Run the shared-memory cache serving workload (\"mmap in anger\").")
+    Term.(
+      const cacheserve $ vm $ cores_list_arg $ jobs_arg $ duration_arg
+      $ check_arg $ rangelock_arg $ zipf_s $ slots $ evict_every $ model_ops)
+
 (* ---- snapshot ---- *)
 
 let snapshot profile =
@@ -376,4 +535,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ micro_cmd; metis_cmd; counter_cmd; index_cmd; snapshot_cmd ]))
+          [
+            micro_cmd;
+            metis_cmd;
+            counter_cmd;
+            index_cmd;
+            snapshot_cmd;
+            cacheserve_cmd;
+          ]))

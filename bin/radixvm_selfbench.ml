@@ -87,6 +87,18 @@ let () =
     exit 1
   end;
   Printf.printf "fuzz world 4x300 (checked):%7.2f s\n%!" world_s;
+  (* 2c. The quick cacheserve sweep, serial: the heaviest figure target
+     (seven systems x three core counts, page-cache rows disk-bound), so
+     its wall time is worth gating on its own. *)
+  let cacheserve, cacheserve_s =
+    time (fun () -> Figures.run_target ctx "cacheserve")
+  in
+  (match cacheserve with
+  | Some _ -> ()
+  | None ->
+      prerr_endline "selfbench: cacheserve target missing";
+      exit 1);
+  Printf.printf "cacheserve --quick --jobs 1:%6.2f s\n%!" cacheserve_s;
   (* 3. Micro-op figures through the existing Bechamel wiring. *)
   let micro =
     match Figures.run_target { ctx with ppf = null_ppf } "wallclock" with
@@ -117,6 +129,7 @@ let () =
                metric "fig5_quick_wall" (Json.Float fig5_s) "s";
                metric "fuzz600_checked_wall" (Json.Float fuzz_s) "s";
                metric "fuzz_sharded_wall" (Json.Float world_s) "s";
+               metric "cacheserve_wall" (Json.Float cacheserve_s) "s";
                metric ~better:"higher" "fuzz_ops_per_sec"
                  (Json.Float ops_per_sec) "ops/s";
              ]

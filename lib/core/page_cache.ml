@@ -3,7 +3,16 @@ open Ccsim
 let file_content ~file ~page = (file * 1_000_003) lxor page
 
 module Make (C : Refcnt.Counter_intf.S) = struct
-  type entry = { pfn : int; handle : C.handle }
+  type entry = {
+    pfn : int;
+    handle : C.handle;
+    (* Whether the cache currently holds its base reference. Eviction
+       drops it; if mappings keep the page alive and a later [get] finds
+       the entry still resident, the cache re-adopts it — and a second
+       eviction of an already-evicted page must not dec again. *)
+    mutable base : bool;
+    mutable dirty : bool;
+  }
 
   type bucket = {
     lock : Lock.t;
@@ -15,6 +24,7 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     csub : C.t;
     buckets : bucket array;
     mutable resident : int;
+    mutable dirty_count : int;
   }
 
   let nbuckets = 256
@@ -31,6 +41,7 @@ module Make (C : Refcnt.Counter_intf.S) = struct
               entries = Hashtbl.create 8;
             });
       resident = 0;
+      dirty_count = 0;
     }
 
   let bucket_of t ~file ~page =
@@ -41,7 +52,15 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     Lock.acquire core b.lock;
     match
       match Hashtbl.find_opt b.entries (file, page) with
-      | Some e -> e
+      | Some e ->
+          if not e.base then begin
+            (* A prior eviction dropped the base reference but mappings
+               kept the page alive: re-adopt it so the entry's lifetime
+               invariant (resident => one base reference) holds again. *)
+            C.inc t.csub core e.handle;
+            e.base <- true
+          end;
+          e
       | None ->
           (* Miss: read the page in from backing store. *)
           let pfn = Physmem.alloc (Machine.physmem t.machine) core in
@@ -51,10 +70,16 @@ module Make (C : Refcnt.Counter_intf.S) = struct
           let e =
             {
               pfn;
+              base = true;
+              dirty = false;
               handle =
                 (* The cache's base reference; freeing returns the frame
                    and forgets the entry. *)
                 C.make t.csub core ~init:1 ~on_free:(fun c ->
+                    (match Hashtbl.find_opt b.entries (file, page) with
+                    | Some stale when stale.dirty ->
+                        t.dirty_count <- t.dirty_count - 1
+                    | _ -> ());
                     Hashtbl.remove b.entries (file, page);
                     t.resident <- t.resident - 1;
                     Physmem.free (Machine.physmem t.machine) c pfn);
@@ -78,9 +103,40 @@ module Make (C : Refcnt.Counter_intf.S) = struct
     let b = bucket_of t ~file ~page in
     Lock.acquire core b.lock;
     (match Hashtbl.find_opt b.entries (file, page) with
-    | Some e -> C.dec t.csub core e.handle
-    | None -> ());
+    | Some e when e.base ->
+        e.base <- false;
+        C.dec t.csub core e.handle
+    | _ -> ());
     Lock.release core b.lock
 
+  let set_dirty t (core : Core.t) ~file ~page =
+    let b = bucket_of t ~file ~page in
+    Lock.acquire core b.lock;
+    (match Hashtbl.find_opt b.entries (file, page) with
+    | Some e when not e.dirty ->
+        e.dirty <- true;
+        t.dirty_count <- t.dirty_count + 1
+    | _ -> ());
+    Lock.release core b.lock
+
+  let clear_dirty t (core : Core.t) ~file ~page =
+    let b = bucket_of t ~file ~page in
+    Lock.acquire core b.lock;
+    (match Hashtbl.find_opt b.entries (file, page) with
+    | Some e when e.dirty ->
+        e.dirty <- false;
+        t.dirty_count <- t.dirty_count - 1
+    | _ -> ());
+    Lock.release core b.lock
+
+  let dirty t ~file ~page =
+    match Hashtbl.find_opt (bucket_of t ~file ~page).entries (file, page) with
+    | Some e -> e.dirty
+    | None -> false
+
+  let resident t ~file ~page =
+    Hashtbl.mem (bucket_of t ~file ~page).entries (file, page)
+
   let cached_pages t = t.resident
+  let dirty_pages t = t.dirty_count
 end

@@ -15,4 +15,15 @@ val open_file : t -> string -> fd option
 val size_pages : t -> fd -> int option
 (** [None] for an unknown fd. *)
 
+val resize_file : t -> fd -> pages:int -> int option
+(** Grow or truncate a file, returning the previous size ([None] for an
+    unknown fd; [pages] may be 0). Fires the resize hook when the size
+    actually changed, so the owner of the page cache can drop pages
+    beyond the new EOF — the cache-serving workload's bulk-eviction
+    path. The VFS itself holds no cache references; it only reports. *)
+
+val set_resize_hook : t -> (fd -> old_pages:int -> new_pages:int -> unit) -> unit
+(** Install the single resize observer (later calls replace it). Called
+    with the file and both sizes after the size table is updated. *)
+
 val file_count : t -> int

@@ -480,6 +480,79 @@ let test_crash_reap_survivors_clean () =
     crash_matrix
 
 (* ------------------------------------------------------------------ *)
+(* Cache-serve session under faults                                    *)
+
+(* The cache-serving oracle (test_workloads checks it fault-free) must
+   also hold under injected faults: the model stays divergence-free, the
+   crashed address spaces are reaped without disturbing siblings, and
+   teardown still drains to zero frames with clean checker ledgers. *)
+
+module CS = Workloads.Cache_serve
+
+let run_faulted_session ~name ~ops ~arm_plan =
+  let plan = ref None and mref = ref None and chk = ref None in
+  let o =
+    CS.Session.run ~ncores:4 ~procs:3 ~slots:64 ~ops
+      ~on_machine:(fun m ->
+        mref := Some m;
+        chk := Some (Check.attach m);
+        plan := Some (plan_on ~seed:11 m))
+      ~arm:(fun () -> arm_plan (Option.get !plan) (Option.get !mref))
+      ()
+  in
+  let m = Option.get !mref and chk = Option.get !chk in
+  Alcotest.(check (list string)) (name ^ ": no divergences") []
+    o.CS.Session.divergences;
+  Alcotest.(check int) (name ^ ": zero live frames after teardown") 0 (live m);
+  Alcotest.(check int) (name ^ ": no leaked locks") 0
+    (List.length (Check.leaked_locks chk));
+  Alcotest.(check int) (name ^ ": refcount ledger clean") 0
+    (List.length (Check.rc_violations chk));
+  Alcotest.(check int) (name ^ ": TLB mirror coherent") 0
+    (List.length (Check.tlb_violations chk));
+  o
+
+let test_cacheserve_frame_budget () =
+  let o =
+    run_faulted_session ~name:"budget" ~ops:4_000 ~arm_plan:(fun plan m ->
+        (* Pin the budget just above what setup already holds: eviction
+           sweeps free frames, so serving limps along instead of dying. *)
+        let budget = Physmem.live_frames (Machine.physmem m) + 8 in
+        Fault.set_frame_budget plan (Some budget))
+  in
+  Alcotest.(check bool) "budget: refusals observed" true
+    (o.CS.Session.enomem > 0);
+  Alcotest.(check bool) "budget: serving continued" true
+    (o.CS.Session.hits > 0 && o.CS.Session.sets > 0)
+
+let cacheserve_crash_matrix =
+  (* (op, point, prob): probabilities tuned to how often the session
+     reaches each op — mprotect only runs on slot resizes, pagefault on
+     every cold access. *)
+  [
+    ("mmap", "locked", 0.05, false);
+    ("munmap", "locked", 0.05, true);
+    ("munmap", "cleared", 0.05, false);
+    ("mprotect", "locked", 1.0, false);
+    ("pagefault", "locked", 0.02, false);
+  ]
+
+let test_cacheserve_crash_matrix () =
+  List.iter
+    (fun (op, point, prob, want_served_after) ->
+      let name = Printf.sprintf "%s@%s" op point in
+      let o =
+        run_faulted_session ~name ~ops:3_000 ~arm_plan:(fun plan _m ->
+            Fault.crash_ops plan ~op ~point ~prob ())
+      in
+      Alcotest.(check bool) (name ^ ": at least one crash reaped") true
+        (o.CS.Session.crashes_reaped >= 1);
+      if want_served_after then
+        Alcotest.(check bool) (name ^ ": siblings served after the crash")
+          true o.CS.Session.served_after_crash)
+    cacheserve_crash_matrix
+
+(* ------------------------------------------------------------------ *)
 (* Suppression: re-entrant and exception-safe                          *)
 
 let test_with_suppressed_reentrant_exception_safe () =
@@ -700,6 +773,13 @@ let () =
         [
           tc "broken rollback leaks locks" `Quick test_broken_rollback_is_caught;
           tc "invariant violation typed" `Quick test_invariant_violation_is_typed;
+        ] );
+      ( "cache-serve",
+        [
+          tc "frame budget stays model-clean" `Quick
+            test_cacheserve_frame_budget;
+          tc "crash matrix stays model-clean" `Quick
+            test_cacheserve_crash_matrix;
         ] );
       ( "crash-recovery",
         [

@@ -60,6 +60,31 @@ let artifact_bytes target =
       reference
   | [] -> assert false
 
+(* The cacheserve artifact varies the pool width instead: its rows mix
+   generic, page-cache and multi-process runs, and neither row values
+   nor row order may depend on how many worker domains ran the sweep. *)
+let cacheserve_bytes () =
+  let render jobs =
+    match
+      Figures.run_target { (ctx ~shards:1) with Figures.jobs } "cacheserve"
+    with
+    | Some out -> Harness.Json.to_string ~pretty:true out.Figures.json ^ "\n"
+    | None -> failwith "unknown bench target cacheserve"
+  in
+  let widths = [ 1; 2; 4 ] in
+  match List.map render widths with
+  | reference :: rest ->
+      List.iteri
+        (fun i bytes ->
+          if bytes <> reference then
+            failwith
+              (Printf.sprintf
+                 "BENCH_cacheserve.json differs between --jobs 1 and --jobs %d"
+                 (List.nth widths (i + 1))))
+        rest;
+      reference
+  | [] -> assert false
+
 let fuzz_bytes () =
   let outcome = Fuzz.run_session { Fuzz.default with Fuzz.seed = 42 } in
   if not outcome.Fuzz.passed then
@@ -94,6 +119,7 @@ let subjects =
     ("BENCH_fig5.json", fun () -> artifact_bytes "fig5");
     ("BENCH_fig9.json", fun () -> artifact_bytes "fig9");
     ("BENCH_table2.json", fun () -> artifact_bytes "table2");
+    ("BENCH_cacheserve.json", cacheserve_bytes);
     ("fuzz_seed42.transcript", fuzz_bytes);
     ("fuzz_world_seed42.transcript", fuzz_world_bytes);
   ]

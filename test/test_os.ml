@@ -364,6 +364,35 @@ let process_lifecycle_property =
       drain m 10;
       live m = baseline)
 
+(* ------------------------------------------------------------------ *)
+(* VFS resize hook                                                     *)
+
+(* The grow/truncate surface the cache-serving workload leans on: the
+   hook fires exactly when the size changes, with both sizes, after the
+   size table already shows the new one. *)
+let test_vfs_resize_hook () =
+  let vfs = Os.Vfs.create () in
+  let fd = Os.Vfs.create_file vfs ~name:"f" ~pages:8 in
+  let fired = ref [] in
+  Os.Vfs.set_resize_hook vfs (fun fd' ~old_pages ~new_pages ->
+      Alcotest.(check (option int))
+        "size table updated before the hook" (Some new_pages)
+        (Os.Vfs.size_pages vfs fd');
+      fired := (fd', old_pages, new_pages) :: !fired);
+  Alcotest.(check (option int)) "truncate returns old size" (Some 8)
+    (Os.Vfs.resize_file vfs fd ~pages:0);
+  Alcotest.(check (option int)) "grow returns old size" (Some 0)
+    (Os.Vfs.resize_file vfs fd ~pages:8);
+  (* Same size: no hook, but still reports. *)
+  Alcotest.(check (option int)) "no-op resize reports" (Some 8)
+    (Os.Vfs.resize_file vfs fd ~pages:8);
+  Alcotest.(check (option int)) "unknown fd refused" None
+    (Os.Vfs.resize_file vfs 99 ~pages:4);
+  Alcotest.(check (list (triple int int int)))
+    "hook fired once per actual change, in order"
+    [ (fd, 0, 8); (fd, 8, 0) ]
+    (List.map (fun (a, b, c) -> (a, b, c)) !fired)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "os"
@@ -391,5 +420,6 @@ let () =
             test_mprotect_abort_rolls_back;
         ] );
       ("validation", [ tc "errno paths" `Quick test_syscall_validation ]);
+      ("vfs", [ tc "resize hook" `Quick test_vfs_resize_hook ]);
       ("property", [ QCheck_alcotest.to_alcotest process_lifecycle_property ]);
     ]

@@ -269,6 +269,182 @@ let test_counter_bench_scales_refcache () =
     true (speedup > 5.0)
 
 (* ------------------------------------------------------------------ *)
+(* Zipf sampler                                                        *)
+
+(* An independent inverse-CDF reference: recompute the table with the
+   same summation order (so the floats agree bit-for-bit) and replace
+   the binary search with a linear scan. *)
+let zipf_reference_cdf n s =
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  cdf
+
+let zipf_matches_reference =
+  QCheck.Test.make ~name:"zipf matches exact inverse-CDF reference" ~count:200
+    QCheck.(
+      triple (int_range 1 40) (float_bound_inclusive 3.0) (int_bound 10_000))
+    (fun (n, s, seed) ->
+      let z = Workloads.Zipf.create ~n ~s ~seed in
+      let cdf = zipf_reference_cdf n s in
+      let reference u =
+        let i = ref 0 in
+        while u >= cdf.(!i) do
+          incr i
+        done;
+        !i
+      in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let u = Workloads.Zipf.uniform z in
+        let r = Workloads.Zipf.sample_u z u in
+        if r <> reference u || r < 0 || r >= n then ok := false
+      done;
+      !ok)
+
+let zipf_next_in_range =
+  QCheck.Test.make ~name:"zipf next never leaves [0, n)" ~count:200
+    QCheck.(pair (int_range 1 100) (int_bound 10_000))
+    (fun (n, seed) ->
+      let z = Workloads.Zipf.create ~n ~s:1.5 ~seed in
+      let ok = ref true in
+      for _ = 1 to 500 do
+        let r = Workloads.Zipf.next z in
+        if r < 0 || r >= n then ok := false
+      done;
+      !ok)
+
+(* The property the workload actually leans on: the stream is a pure
+   function of (n, s, seed) — the same on a worker domain at any pool
+   width as on the main domain. *)
+let test_zipf_deterministic_across_domains () =
+  let stream () =
+    let z = Workloads.Zipf.create ~n:64 ~s:1.1 ~seed:7 in
+    List.init 2_000 (fun _ -> Workloads.Zipf.next z)
+  in
+  let serial = stream () in
+  List.iter
+    (fun jobs ->
+      let results =
+        Harness.Pool.run ~jobs
+          (List.init 4 (fun i ->
+               Harness.Pool.job ~name:(string_of_int i) stream))
+      in
+      List.iteri
+        (fun i r ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "jobs=%d worker %d matches serial" jobs i)
+            serial r)
+        results)
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Cache-serve: the model-checked session                              *)
+
+module CS = Workloads.Cache_serve
+
+let run_session ?(via_kernel = false) ?(compact_every = 0) ?(ops = 10_000)
+    kind =
+  let chk = ref None in
+  let o =
+    CS.Session.run ~ncores:4 ~procs:3 ~slots:64 ~ops ~rangelock:kind
+      ~via_kernel ~compact_every
+      ~on_machine:(fun m -> chk := Some (Check.attach m))
+      ()
+  in
+  (o, Option.get !chk)
+
+let check_session_clean name ((o : CS.Session.outcome), chk) =
+  Alcotest.(check (list string)) (name ^ ": no divergences") [] o.divergences;
+  Alcotest.(check bool) (name ^ ": hits and misses") true
+    (o.hits > 0 && o.misses > 0);
+  Alcotest.(check bool) (name ^ ": evictions ran") true (o.evictions > 0);
+  Alcotest.(check bool) (name ^ ": dirty writebacks ran") true
+    (o.writebacks > 0);
+  Alcotest.(check int) (name ^ ": TLB mirror clean") 0
+    (List.length (Check.tlb_violations chk));
+  Alcotest.(check int) (name ^ ": refcache ledger clean") 0
+    (List.length (Check.rc_violations chk));
+  Alcotest.(check int) (name ^ ": no leaked locks") 0
+    (List.length (Check.leaked_locks chk))
+
+(* Satellite 2: a 10k-op serving session is divergence-free against
+   Cache_model under every range-lock backend, and its observable
+   history is byte-identical across them — the backend choice is a
+   performance knob, never a semantics knob. *)
+let test_session_identical_across_backends () =
+  let sessions =
+    List.map
+      (fun (name, kind) -> (name, run_session kind))
+      [
+        ("radix", Locks.Range_lock.Radix_embedded);
+        ("list", Locks.Range_lock.List_based);
+        ("global", Locks.Range_lock.Global);
+      ]
+  in
+  let _, ((first : CS.Session.outcome), _) = List.hd sessions in
+  List.iter
+    (fun (name, ((o : CS.Session.outcome), _chk as s)) ->
+      check_session_clean name s;
+      Alcotest.(check string)
+        (name ^ ": history byte-identical to radix backend")
+        first.history o.history)
+    sessions
+
+(* The same session driven through Os.Kernel syscalls (sys_fork per
+   process, sys_mmap/sys_munmap for every slot move) observes the same
+   history as direct Radixvm calls: the syscall layer adds errno
+   plumbing, not semantics. *)
+let test_session_kernel_matches_direct () =
+  let direct, _ = run_session Locks.Range_lock.Radix_embedded in
+  let (kernel, _chk) as s =
+    run_session ~via_kernel:true Locks.Range_lock.Radix_embedded
+  in
+  check_session_clean "kernel" s;
+  Alcotest.(check string) "kernel history matches direct" direct.history
+    kernel.history
+
+(* Whole-file truncate compactions (the VFS resize hook dropping every
+   cached page) stay inside the model too. *)
+let test_session_compaction_clean () =
+  let (o, _chk) as s =
+    run_session ~compact_every:4_000 Locks.Range_lock.Radix_embedded
+  in
+  check_session_clean "compact" s;
+  Alcotest.(check int) "two compactions" 2 o.compactions
+
+(* ------------------------------------------------------------------ *)
+(* Cache-serve: the throughput workload                                *)
+
+module CS_radix = Workloads.Cache_serve.Make (Vm.Radixvm.Default)
+
+let test_cacheserve_progress_and_evictions () =
+  let r =
+    CS_radix.serve ~warmup:600_000 ~slots:64 ~evict_every:256 ~ncores:4
+      ~duration:400_000 Radixvm.create
+  in
+  Alcotest.(check bool) "ops" true (r.CS.ops > 0);
+  Alcotest.(check bool) "evictions" true (r.CS.evictions > 0);
+  Alcotest.(check bool) "eviction shootdowns are real IPIs" true (r.CS.ipis > 0)
+
+let test_cacheserve_deterministic () =
+  let run () =
+    CS_radix.serve ~warmup:600_000 ~slots:64 ~evict_every:256 ~ncores:4
+      ~duration:400_000 Radixvm.create
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same ops" a.CS.ops b.CS.ops;
+  Alcotest.(check int) "same evictions" a.CS.evictions b.CS.evictions;
+  Alcotest.(check int) "same ipis" a.CS.ipis b.CS.ipis
+
+(* ------------------------------------------------------------------ *)
 (* Snapshots (Table 2)                                                 *)
 
 let test_snapshot_measures () =
@@ -327,6 +503,26 @@ let () =
         [
           tc "refcache beats shared" `Slow test_refcache_beats_shared_counter;
           tc "refcache scales" `Slow test_counter_bench_scales_refcache;
+        ] );
+      ( "zipf",
+        [
+          QCheck_alcotest.to_alcotest zipf_matches_reference;
+          QCheck_alcotest.to_alcotest zipf_next_in_range;
+          tc "deterministic across domains" `Quick
+            test_zipf_deterministic_across_domains;
+        ] );
+      ( "cache_serve session",
+        [
+          tc "identical across backends" `Quick
+            test_session_identical_across_backends;
+          tc "kernel matches direct" `Quick test_session_kernel_matches_direct;
+          tc "compaction clean" `Quick test_session_compaction_clean;
+        ] );
+      ( "cache_serve",
+        [
+          tc "progress and evictions" `Slow
+            test_cacheserve_progress_and_evictions;
+          tc "deterministic" `Slow test_cacheserve_deterministic;
         ] );
       ( "snapshots",
         [
